@@ -1,0 +1,258 @@
+// Command hbnet inspects a hyper-butterfly network HB(m,n).
+//
+//	hbnet -m 2 -n 3 info                     order, edges, degree, diameter
+//	hbnet -m 2 -n 3 verify                   re-verify the paper's theorems
+//	hbnet -m 2 -n 3 label 17                 print a node's two-part label
+//	hbnet -m 2 -n 3 route 0 95               shortest route with generators
+//	hbnet -m 2 -n 3 paths 0 95               the m+4 disjoint paths (Theorem 5)
+//	hbnet -m 2 -n 3 broadcast 0              structured broadcast statistics
+//	hbnet -m 3 -n 4 embed tree               verified Section 4 embeddings
+//	hbnet -m 2 -n 3 decompose                Remark 5 partitions
+//	hbnet -m 2 -n 4 cut                      constructive bisections (VLSI)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/layout"
+)
+
+func main() {
+	m := flag.Int("m", 2, "hypercube dimension")
+	n := flag.Int("n", 3, "butterfly dimension")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	hb, err := core.New(*m, *n)
+	fail(err)
+
+	switch args[0] {
+	case "info":
+		info(hb)
+	case "verify":
+		verify(hb)
+	case "label":
+		v := parseNode(hb, args, 1)
+		fmt.Printf("node %d = %s  (PI=%d CI=%d)\n", v, hb.VertexLabel(v),
+			hb.Butterfly().PI(nodeB(hb, v)), hb.Butterfly().CI(nodeB(hb, v)))
+	case "route":
+		u, v := parseNode(hb, args, 1), parseNode(hb, args, 2)
+		route(hb, u, v)
+	case "paths":
+		u, v := parseNode(hb, args, 1), parseNode(hb, args, 2)
+		paths(hb, u, v)
+	case "broadcast":
+		src := parseNode(hb, args, 1)
+		res, _, err := broadcast.TwoPhase(hb, src)
+		fail(err)
+		fmt.Printf("two-phase broadcast from %s: %d rounds (diameter %d), %d messages, %d nodes reached\n",
+			hb.VertexLabel(src), res.Rounds, hb.DiameterFormula(), res.Messages, res.Reached)
+	case "embed":
+		doEmbed(hb, args)
+	case "decompose":
+		decompose(hb)
+	case "cut":
+		cuts(hb)
+	default:
+		usage()
+	}
+}
+
+// doEmbed runs one of the Section 4 embeddings and verifies it.
+func doEmbed(hb *core.HyperButterfly, args []string) {
+	if len(args) < 2 {
+		usage()
+	}
+	switch args[1] {
+	case "cycle":
+		k := parseInt(args, 2)
+		cyc, err := embed.EvenCycle(hb, k)
+		fail(err)
+		fail(graph.VerifyCycle(hb, cyc))
+		fmt.Printf("even cycle C(%d) embedded and verified (Lemma 2)\n", k)
+	case "torus":
+		n1, k := parseInt(args, 2), parseInt(args, 3)
+		tor, phi, err := embed.TorusKN(hb, n1, k)
+		fail(err)
+		fail(graph.VerifyEmbedding(tor, hb, phi))
+		fmt.Printf("torus M(%d,%d) embedded and verified\n", tor.N1, tor.N2)
+	case "tree":
+		levels, phi, err := embed.BinaryTree(hb)
+		fail(err)
+		fail(graph.VerifyEmbedding(graph.CompleteBinaryTree{Levels: levels}, hb, phi))
+		fmt.Printf("complete binary tree T(%d) embedded and verified; root %s\n",
+			levels, hb.VertexLabel(phi[0]))
+	case "meshoftrees":
+		p, q := parseInt(args, 2), parseInt(args, 3)
+		mt, phi, err := embed.MeshOfTrees(hb, p, q)
+		fail(err)
+		fail(graph.VerifyEmbedding(mt, hb, phi))
+		fmt.Printf("mesh of trees MT(2^%d, 2^%d) embedded and verified (Theorem 4)\n", p, q)
+	default:
+		usage()
+	}
+}
+
+// decompose prints the Remark 5 partitions.
+func decompose(hb *core.HyperButterfly) {
+	cubes := hb.HypercubePartition()
+	bfs := hb.ButterflyPartition()
+	fmt.Printf("Remark 5 decompositions of HB(%d,%d):\n", hb.M(), hb.N())
+	fmt.Printf("  %d disjoint sub-hypercubes H_%d (one per butterfly label), e.g. labels of (H_m, identity):\n",
+		len(cubes), hb.M())
+	for _, v := range cubes[hb.Butterfly().Identity()] {
+		fmt.Printf("    %s\n", hb.VertexLabel(v))
+	}
+	fmt.Printf("  %d disjoint sub-butterflies B_%d (one per hypercube label); (0…0, B_n) has %d nodes\n",
+		len(bfs), hb.N(), len(bfs[0]))
+}
+
+// cuts prints the constructive bisections of the layout module.
+func cuts(hb *core.HyperButterfly) {
+	fmt.Printf("constructive bisections of HB(%d,%d) (VLSI layout bounds):\n", hb.M(), hb.N())
+	if hb.M() > 0 {
+		c, err := layout.HypercubeDimCut(hb, 0)
+		fail(err)
+		fmt.Printf("  hypercube dimension cut: %d/%d nodes, %d crossing edges (formula %d)\n",
+			c.SizeA, c.SizeB, c.CrossEdges, layout.DimCutWidthFormula(hb.M(), hb.N()))
+	}
+	c, err := layout.ButterflyLevelCut(hb)
+	fail(err)
+	fmt.Printf("  butterfly level cut:     %d/%d nodes, %d crossing edges", c.SizeA, c.SizeB, c.CrossEdges)
+	if hb.N()%2 == 0 {
+		fmt.Printf(" (formula %d)", layout.LevelCutWidthFormula(hb.M(), hb.N()))
+	}
+	fmt.Println()
+	if w, name, err := layout.BisectionUpperBound(hb); err == nil {
+		fmt.Printf("  bisection width <= %d via %s\n", w, name)
+	}
+}
+
+func parseInt(args []string, i int) int {
+	if i >= len(args) {
+		usage()
+	}
+	v, err := strconv.Atoi(args[i])
+	fail(err)
+	return v
+}
+
+func info(hb *core.HyperButterfly) {
+	fmt.Printf("HB(%d,%d)\n", hb.M(), hb.N())
+	fmt.Printf("  nodes            %d  (n·2^(m+n))\n", hb.Order())
+	fmt.Printf("  edges            %d  ((m+4)·n·2^(m+n-1))\n", hb.EdgeCountFormula())
+	fmt.Printf("  degree           %d  (m+4, regular Cayley graph)\n", hb.Degree())
+	fmt.Printf("  diameter         %d  (m+floor(3n/2))\n", hb.DiameterFormula())
+	fmt.Printf("  fault tolerance  %d  (m+4, maximal)\n", hb.ConnectivityFormula())
+}
+
+func verify(hb *core.HyperButterfly) {
+	d := hb.Dense()
+	ok := true
+	check := func(name string, got, want int) {
+		status := "ok"
+		if got != want {
+			status = "MISMATCH"
+			ok = false
+		}
+		fmt.Printf("  %-28s measured %-8d expected %-8d %s\n", name, got, want, status)
+	}
+	fmt.Printf("verifying HB(%d,%d) against the paper:\n", hb.M(), hb.N())
+	check("nodes (Theorem 2)", d.Order(), hb.Order())
+	check("edges (Theorem 2)", d.EdgeCount(), hb.EdgeCountFormula())
+	st := graph.Degrees(d)
+	check("degree min (Theorem 2)", st.Min, hb.Degree())
+	check("degree max (Theorem 2)", st.Max, hb.Degree())
+	ecc, _ := graph.Eccentricity(hb, hb.Identity())
+	check("diameter (Theorem 3)", ecc, hb.DiameterFormula())
+	if d.Order() <= 8192 {
+		check("connectivity (Corollary 1)", graph.ConnectivityVertexTransitive(d), hb.ConnectivityFormula())
+	} else {
+		fmt.Println("  connectivity: instance too large for exact max-flow sweep; see tests for exact small-instance verification")
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func route(hb *core.HyperButterfly, u, v int) {
+	fmt.Printf("route %s -> %s (distance %d):\n", hb.VertexLabel(u), hb.VertexLabel(v), hb.Distance(u, v))
+	moves := hb.RouteMoves(u, v)
+	cur := u
+	fmt.Printf("  %s\n", hb.VertexLabel(cur))
+	for _, mv := range moves {
+		cur = hb.Apply(mv, cur)
+		fmt.Printf("  --%-3s--> %s\n", mv, hb.VertexLabel(cur))
+	}
+}
+
+func paths(hb *core.HyperButterfly, u, v int) {
+	ps, err := hb.DisjointPaths(u, v)
+	fail(err)
+	if err := graph.VerifyDisjointPaths(hb, u, v, ps); err != nil {
+		fail(err)
+	}
+	fmt.Printf("%d internally vertex-disjoint paths %d -> %d (Theorem 5), verified:\n", len(ps), u, v)
+	for i, p := range ps {
+		fmt.Printf("  path %2d (length %2d): ", i+1, len(p)-1)
+		for j, x := range p {
+			if j > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Print(x)
+		}
+		fmt.Println()
+	}
+}
+
+func nodeB(hb *core.HyperButterfly, v int) int {
+	_, b := hb.Decode(v)
+	return b
+}
+
+func parseNode(hb *core.HyperButterfly, args []string, i int) int {
+	if i >= len(args) {
+		usage()
+	}
+	v, err := strconv.Atoi(args[i])
+	fail(err)
+	if v < 0 || v >= hb.Order() {
+		fail(fmt.Errorf("node %d out of range [0,%d)", v, hb.Order()))
+	}
+	return v
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbnet:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hbnet [-m M] [-n N] <command>
+commands:
+  info                network parameters
+  verify              re-verify the paper's theorems on this instance
+  label <v>           two-part label of node v
+  route <u> <v>       shortest route with generator sequence
+  paths <u> <v>       the m+4 disjoint paths of Theorem 5
+  broadcast <src>     structured broadcast statistics
+  embed cycle <k>     embed + verify an even cycle (Lemma 2)
+  embed torus <n1> <k> embed + verify M(n1, k*n)
+  embed tree          embed + verify T(m+n-1)
+  embed meshoftrees <p> <q>  embed + verify MT(2^p, 2^q) (Theorem 4)
+  decompose           Remark 5 partitions
+  cut                 constructive bisections (VLSI bounds)`)
+	os.Exit(2)
+}

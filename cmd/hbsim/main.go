@@ -1,0 +1,270 @@
+// Command hbsim runs the dynamic experiments: traffic simulation
+// (E-S1), fault-tolerant routing sweeps (E-R10) and broadcast
+// comparison (E-B1).
+//
+//	hbsim -mode traffic -m 2 -n 4 -rate 0.05 -cycles 2000
+//	    uniform/permutation traffic on HB vs HD vs H vs B at matched size
+//	hbsim -mode faults -m 2 -n 4 -trials 200
+//	    random fault sweep f = 1..m+3: delivery rate and stretch
+//	hbsim -mode broadcast -m 2 -n 4
+//	    flooding vs two-phase vs spanning-tree broadcast
+//	hbsim -mode election -m 2 -n 4
+//	    leader election: flood-max vs tree protocol (E-LE)
+//	hbsim -mode faultdiam -m 2 -n 3 -trials 50
+//	    exact diameter growth under random faults (E-FD)
+//	hbsim -mode wormhole -m 2 -n 3 -rate 0.3 -cycles 3000
+//	    flit-level wormhole: single VC deadlocks, dateline survives (E-W1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/broadcast"
+	"repro/internal/butterfly"
+	"repro/internal/core"
+	"repro/internal/election"
+	"repro/internal/faultroute"
+	"repro/internal/hypercube"
+	"repro/internal/hyperdebruijn"
+	"repro/internal/simnet"
+	"repro/internal/wormhole"
+)
+
+func main() {
+	mode := flag.String("mode", "traffic", "traffic | faults | broadcast | election | faultdiam | wormhole")
+	m := flag.Int("m", 2, "hypercube dimension")
+	n := flag.Int("n", 4, "butterfly dimension")
+	rate := flag.Float64("rate", 0.05, "injection rate per node per cycle")
+	cycles := flag.Int("cycles", 2000, "simulated cycles")
+	trials := flag.Int("trials", 200, "trials per fault count")
+	seed := flag.Int64("seed", 1, "rng seed")
+	flag.Parse()
+
+	switch *mode {
+	case "traffic":
+		traffic(*m, *n, *rate, *cycles, *seed)
+	case "faults":
+		faults(*m, *n, *trials, *seed)
+	case "broadcast":
+		bcast(*m, *n)
+	case "election":
+		elect(*m, *n, *seed)
+	case "faultdiam":
+		faultDiam(*m, *n, *trials, *seed)
+	case "wormhole":
+		worm(*m, *n, *rate, *cycles, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "hbsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+// elect compares the two leader-election protocols (E-LE).
+func elect(m, n int, seed int64) {
+	hb := core.MustNew(m, n)
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]int64, hb.Order())
+	for v, p := range rng.Perm(hb.Order()) {
+		ids[v] = int64(p)
+	}
+	flood, err := election.FloodMax(hb, ids)
+	fail(err)
+	tree, err := election.TreeElect(hb, ids, hb.Identity())
+	fail(err)
+	if flood.Leader != tree.Leader {
+		fail(fmt.Errorf("protocols disagree: %d vs %d", flood.Leader, tree.Leader))
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "protocol\trounds\tmessages")
+	fmt.Fprintf(w, "flood-max\t%d\t%d\n", flood.Rounds, flood.Messages)
+	fmt.Fprintf(w, "tree (convergecast+broadcast)\t%d\t%d\n", tree.Rounds, tree.Messages)
+	w.Flush()
+	fmt.Printf("\nelected leader: %s (id %d) on HB(%d,%d), diameter %d\n",
+		hb.VertexLabel(flood.Leader), ids[flood.Leader], m, n, hb.DiameterFormula())
+}
+
+// faultDiam measures the exact diameter growth under random fault sets
+// of each size up to m+3 (E-FD).
+func faultDiam(m, n, trials int, seed int64) {
+	hb := core.MustNew(m, n)
+	if hb.Order() > 4096 {
+		fail(fmt.Errorf("faultdiam needs order <= 4096 (HB(%d,%d) has %d nodes)", m, n, hb.Order()))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	base := hb.DiameterFormula()
+	fmt.Printf("fault diameter of HB(%d,%d) (fault-free diameter %d), %d random trials per count:\n",
+		m, n, base, trials)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "faults\tworst fault diameter\tgrowth")
+	for f := 1; f <= hb.M()+3; f++ {
+		worst := 0
+		for trial := 0; trial < trials; trial++ {
+			fd, err := faultroute.FaultDiameter(hb, rng.Perm(hb.Order())[:f])
+			fail(err)
+			if fd > worst {
+				worst = fd
+			}
+		}
+		fmt.Fprintf(w, "%d\t%d\t+%d\n", f, worst, worst-base)
+	}
+	w.Flush()
+}
+
+// worm runs the flit-level wormhole simulator (E-W1): single virtual
+// channel versus the dateline discipline at the same load.
+func worm(m, n int, rate float64, cycles int, seed int64) {
+	hb := core.MustNew(m, n)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\tVCs\tdeadlocked\tinjected\tdelivered\tavg latency")
+	runOne := func(name string, vcs int, policy wormhole.VCPolicy) {
+		res, err := wormhole.Run(hb, wormhole.Config{
+			Cycles: cycles, Rate: rate, PacketLen: 4, BufDepth: 1, VCs: vcs,
+			Policy: policy, Route: hb.Route, Seed: seed,
+		})
+		fail(err)
+		dead := "no"
+		if res.Deadlocked {
+			dead = fmt.Sprintf("yes (cycle %d)", res.DeadCycle)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%d\t%.2f\n",
+			name, vcs, dead, res.Injected, res.Delivered, res.AvgLatency)
+	}
+	runOne("single VC", 1, wormhole.SingleVC)
+	runOne("dateline", 2, wormhole.HBDateline(hb))
+	w.Flush()
+	fmt.Printf("\nwormhole switching on HB(%d,%d): 4-flit worms, 1-flit buffers per VC\n", m, n)
+}
+
+// traffic compares HB(m,n) with HD(m',n') and the classical networks at
+// (approximately) matched node counts under two traffic patterns.
+func traffic(m, n int, rate float64, cycles int, seed int64) {
+	hb := core.MustNew(m, n)
+	hd := hyperdebruijn.MustNew(m, n)
+	cube := hypercube.MustNew(m + n)
+	bf := butterfly.MustNew(m + n)
+
+	type entry struct {
+		name string
+		top  simnet.Topology
+	}
+	entries := []entry{
+		{fmt.Sprintf("HB(%d,%d) [%d nodes]", m, n, hb.Order()), simnet.Routed{Graph: hb, Route: hb.Route}},
+		{fmt.Sprintf("HD(%d,%d) [%d nodes]", m, n, hd.Order()), simnet.Routed{Graph: hd, Route: hd.Route}},
+		{fmt.Sprintf("H(%d)    [%d nodes]", m+n, cube.Order()), simnet.Routed{Graph: cube, Route: cube.Route}},
+		{fmt.Sprintf("B(%d)    [%d nodes]", m+n, bf.Order()), simnet.Routed{Graph: bf, Route: bf.Route}},
+	}
+	adaptive := simnet.MinimalAdaptive(hb, hb.Distance)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "pattern\tnetwork\tinjected\tdelivered\tavg latency\tmax latency\tavg hops\tthroughput\tmax queue")
+	for _, pat := range []simnet.Pattern{simnet.Uniform, simnet.Permutation} {
+		for _, e := range entries {
+			res, err := simnet.Run(e.top, simnet.Config{
+				Cycles: cycles, Rate: rate, Pattern: pat, Seed: seed,
+			})
+			fail(err)
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.2f\t%d\t%.2f\t%.3f\t%d\n",
+				pat, e.name, res.Injected, res.Delivered, res.AvgLatency,
+				res.MaxLatency, res.AvgHops, res.Throughput, res.MaxQueue)
+		}
+		res, err := simnet.RunAdaptive(adaptive, simnet.Config{
+			Cycles: cycles, Rate: rate, Pattern: pat, Seed: seed,
+		})
+		fail(err)
+		fmt.Fprintf(w, "%s\tHB(%d,%d) adaptive\t%d\t%d\t%.2f\t%d\t%.2f\t%.3f\t%d\n",
+			pat, m, n, res.Injected, res.Delivered, res.AvgLatency,
+			res.MaxLatency, res.AvgHops, res.Throughput, res.MaxQueue)
+	}
+	w.Flush()
+}
+
+// faults sweeps the fault count from 1 to m+4: within the guarantee
+// (<= m+3) the delivery rate must be 1.0; at m+4 targeted placements can
+// disconnect the network.
+func faults(m, n, trials int, seed int64) {
+	hb := core.MustNew(m, n)
+	rng := rand.New(rand.NewSource(seed))
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "faults\ttrials\tdelivered\tconnected\tavg stretch\tstrategy optimal/greedy/disjoint/BFS")
+	for f := 1; f <= hb.M()+4; f++ {
+		delivered, connected := 0, 0
+		var stretchSum float64
+		var r *faultroute.Router
+		stats := [4]int{}
+		for trial := 0; trial < trials; trial++ {
+			u, v := rng.Intn(hb.Order()), rng.Intn(hb.Order())
+			if u == v {
+				v = (v + 1) % hb.Order()
+			}
+			faults := make([]int, 0, f)
+			used := map[int]bool{u: true, v: true}
+			for len(faults) < f {
+				x := rng.Intn(hb.Order())
+				if !used[x] {
+					used[x] = true
+					faults = append(faults, x)
+				}
+			}
+			var err error
+			r, err = faultroute.New(hb, faults)
+			fail(err)
+			if r.Connected() {
+				connected++
+			}
+			p, err := r.Route(u, v)
+			if err != nil {
+				continue
+			}
+			delivered++
+			stretchSum += float64(len(p)-1) / float64(max(1, hb.Distance(u, v)))
+			stats[0] += r.Stats.Optimal
+			stats[1] += r.Stats.Greedy
+			stats[2] += r.Stats.Disjoint
+			stats[3] += r.Stats.BFS
+		}
+		avgStretch := 0.0
+		if delivered > 0 {
+			avgStretch = stretchSum / float64(delivered)
+		}
+		note := ""
+		if f <= hb.M()+3 && delivered != trials {
+			note = "  <- GUARANTEE VIOLATED"
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.3f\t%d/%d/%d/%d%s\n",
+			f, trials, delivered, connected, avgStretch, stats[0], stats[1], stats[2], stats[3], note)
+	}
+	w.Flush()
+	fmt.Printf("\nguarantee bound: m+3 = %d faults (Theorem 5 / Remark 10)\n", hb.M()+3)
+}
+
+func bcast(m, n int) {
+	hb := core.MustNew(m, n)
+	flood := broadcast.Flood(hb, hb.Identity())
+	tree := broadcast.SpanningTree(hb, hb.Identity())
+	two, _, err := broadcast.TwoPhase(hb, hb.Identity())
+	fail(err)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\trounds\tmessages\treached")
+	fmt.Fprintf(w, "flooding\t%d\t%d\t%d\n", flood.Rounds, flood.Messages, flood.Reached)
+	fmt.Fprintf(w, "two-phase (structured)\t%d\t%d\t%d\n", two.Rounds, two.Messages, two.Reached)
+	fmt.Fprintf(w, "spanning tree\t%d\t%d\t%d\n", tree.Rounds, tree.Messages, tree.Reached)
+	w.Flush()
+	fmt.Printf("\nlower bound (diameter of HB(%d,%d)): %d rounds\n", m, n, hb.DiameterFormula())
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

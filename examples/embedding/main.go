@@ -1,0 +1,51 @@
+// Embedding demo (Section 4 of the paper): place a wrap-around mesh, an
+// arbitrary even cycle, a complete binary tree, and a mesh of trees
+// inside a hyper-butterfly, verifying each embedding edge by edge.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/graph"
+)
+
+func main() {
+	hb := core.MustNew(3, 3) // 192 nodes, degree 7
+
+	// Wrap-around mesh M(8, 6): C(8) from the hypercube factor x the
+	// 2n-cycle of the butterfly factor.
+	tor, phi, err := embed.Torus(hb, 8, embed.BfDoubleLevel)
+	must(err)
+	must(graph.VerifyEmbedding(tor, hb, phi))
+	fmt.Printf("torus M(%d,%d) embedded into HB(3,3) and verified\n", tor.N1, tor.N2)
+
+	// Lemma 2: any even cycle up to the full node count.
+	for _, k := range []int{4, 10, 100, hb.Order()} {
+		cyc, err := embed.EvenCycle(hb, k)
+		must(err)
+		must(graph.VerifyCycle(hb, cyc))
+		fmt.Printf("even cycle C(%d) embedded and verified\n", k)
+	}
+
+	// Figure 1: complete binary tree T(m+n-1) = T(5), 31 nodes.
+	levels, tphi, err := embed.BinaryTree(hb)
+	must(err)
+	must(graph.VerifyEmbedding(graph.CompleteBinaryTree{Levels: levels}, hb, tphi))
+	fmt.Printf("complete binary tree T(%d) embedded and verified; root at %s\n",
+		levels, hb.VertexLabel(tphi[0]))
+
+	// Theorem 4: mesh of trees MT(2^1, 2^3).
+	mt, mphi, err := embed.MeshOfTrees(hb, 1, 3)
+	must(err)
+	must(graph.VerifyEmbedding(mt, hb, mphi))
+	fmt.Printf("mesh of trees MT(2^%d, 2^%d) embedded and verified\n", mt.P, mt.Q)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

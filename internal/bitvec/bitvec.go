@@ -1,0 +1,185 @@
+// Package bitvec provides small fixed-width bit-vector utilities used for
+// node labels throughout the repository.
+//
+// Hypercube labels, butterfly complementation indices (CI, Definition 2 of
+// the paper) and de Bruijn words are all bit strings of width at most 64;
+// this package centralises the masking, Hamming-distance and Gray-code
+// arithmetic on them so that topology packages stay free of bit fiddling.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Word is a bit vector of up to 64 bits. Bit i is the value (w >> i) & 1.
+// The logical width is carried by the caller; operations that depend on a
+// width take it as an explicit argument.
+type Word = uint64
+
+// Mask returns a Word with the low n bits set. Mask(0) == 0 and
+// Mask(64) == all ones. It panics if n is negative or greater than 64.
+func Mask(n int) Word {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitvec: Mask width %d out of range [0,64]", n))
+	}
+	if n == 64 {
+		return ^Word(0)
+	}
+	return (Word(1) << uint(n)) - 1
+}
+
+// Bit reports whether bit i of w is set.
+func Bit(w Word, i int) bool { return (w>>uint(i))&1 == 1 }
+
+// SetBit returns w with bit i set to v.
+func SetBit(w Word, i int, v bool) Word {
+	if v {
+		return w | (Word(1) << uint(i))
+	}
+	return w &^ (Word(1) << uint(i))
+}
+
+// FlipBit returns w with bit i complemented.
+func FlipBit(w Word, i int) Word { return w ^ (Word(1) << uint(i)) }
+
+// OnesCount returns the number of set bits in w.
+func OnesCount(w Word) int { return bits.OnesCount64(w) }
+
+// Hamming returns the Hamming distance between a and b.
+func Hamming(a, b Word) int { return bits.OnesCount64(a ^ b) }
+
+// DiffBits returns the positions (ascending) at which a and b differ,
+// restricted to the low width bits.
+func DiffBits(a, b Word, width int) []int {
+	d := (a ^ b) & Mask(width)
+	out := make([]int, 0, bits.OnesCount64(d))
+	for d != 0 {
+		i := bits.TrailingZeros64(d)
+		out = append(out, i)
+		d &^= Word(1) << uint(i)
+	}
+	return out
+}
+
+// RotL rotates the low width bits of w left by k (bit width-1 moves toward
+// higher significance and wraps to bit 0). Bits above width must be zero
+// and remain zero.
+func RotL(w Word, width, k int) Word {
+	if width <= 0 {
+		return 0
+	}
+	k = ((k % width) + width) % width
+	if k == 0 {
+		return w & Mask(width)
+	}
+	w &= Mask(width)
+	return ((w << uint(k)) | (w >> uint(width-k))) & Mask(width)
+}
+
+// RotR rotates the low width bits of w right by k.
+func RotR(w Word, width, k int) Word { return RotL(w, width, -k) }
+
+// Reverse returns the low width bits of w in reversed order.
+func Reverse(w Word, width int) Word {
+	var r Word
+	for i := 0; i < width; i++ {
+		r <<= 1
+		r |= (w >> uint(i)) & 1
+	}
+	return r
+}
+
+// String renders the low width bits of w most-significant-first, matching
+// the paper's x_{m-1} … x_0 label convention.
+func String(w Word, width int) string {
+	var sb strings.Builder
+	sb.Grow(width)
+	for i := width - 1; i >= 0; i-- {
+		if Bit(w, i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Parse parses a most-significant-first binary string into a Word.
+func Parse(s string) (Word, error) {
+	if len(s) > 64 {
+		return 0, fmt.Errorf("bitvec: string %q longer than 64 bits", s)
+	}
+	var w Word
+	for _, c := range s {
+		w <<= 1
+		switch c {
+		case '0':
+		case '1':
+			w |= 1
+		default:
+			return 0, fmt.Errorf("bitvec: invalid bit character %q in %q", c, s)
+		}
+	}
+	return w, nil
+}
+
+// Gray returns the i-th codeword of the standard reflected binary Gray
+// code: consecutive codewords differ in exactly one bit, and Gray(0) == 0.
+func Gray(i Word) Word { return i ^ (i >> 1) }
+
+// GrayInverse returns the index i such that Gray(i) == g.
+func GrayInverse(g Word) Word {
+	var i Word
+	for ; g != 0; g >>= 1 {
+		i ^= g
+	}
+	return i
+}
+
+// GrayCycle returns the cyclic sequence of 2^width codewords of the
+// reflected Gray code over width bits. Consecutive entries (including the
+// wrap-around from last to first) differ in exactly one bit, so the
+// sequence traces a Hamiltonian cycle of the hypercube H_width.
+func GrayCycle(width int) []Word {
+	if width < 0 || width > 30 {
+		panic(fmt.Sprintf("bitvec: GrayCycle width %d out of range [0,30]", width))
+	}
+	n := 1 << uint(width)
+	out := make([]Word, n)
+	for i := 0; i < n; i++ {
+		out[i] = Gray(Word(i))
+	}
+	return out
+}
+
+// EvenCycleInCube returns a cyclic vertex sequence of length k through
+// distinct vertices of the hypercube H_width such that consecutive
+// vertices (cyclically) differ in exactly one bit. k must be even and
+// 4 <= k <= 2^width (Remark 9 of the paper; construction follows the
+// standard reflected-Gray-code truncation).
+//
+// Construction: split k = 2a with 2 <= a <= 2^(width-1). Take the first a
+// codewords of the Gray code on width-1 bits as one rail, and the same a
+// codewords reversed with the top bit set as the return rail. Rail
+// endpoints differ only in the top bit, interior steps differ in one low
+// bit, so the whole cycle is a valid induced cycle of H_width.
+func EvenCycleInCube(width, k int) ([]Word, error) {
+	if width < 2 {
+		return nil, fmt.Errorf("bitvec: hypercube H_%d has no cycles", width)
+	}
+	if k%2 != 0 || k < 4 || k > 1<<uint(width) {
+		return nil, fmt.Errorf("bitvec: no cycle of length %d in H_%d (need even k in [4, %d])", k, width, 1<<uint(width))
+	}
+	a := k / 2
+	top := Word(1) << uint(width-1)
+	cycle := make([]Word, 0, k)
+	for i := 0; i < a; i++ {
+		cycle = append(cycle, Gray(Word(i)))
+	}
+	for i := a - 1; i >= 0; i-- {
+		cycle = append(cycle, Gray(Word(i))|top)
+	}
+	return cycle, nil
+}

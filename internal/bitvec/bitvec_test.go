@@ -1,0 +1,220 @@
+package bitvec
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		n    int
+		want Word
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 3},
+		{8, 0xFF},
+		{63, ^Word(0) >> 1},
+		{64, ^Word(0)},
+	}
+	for _, c := range cases {
+		if got := Mask(c.n); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.n, got, c.want)
+		}
+	}
+}
+
+func TestMaskPanics(t *testing.T) {
+	for _, n := range []int{-1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Mask(%d) did not panic", n)
+				}
+			}()
+			Mask(n)
+		}()
+	}
+}
+
+func TestBitSetFlip(t *testing.T) {
+	var w Word
+	w = SetBit(w, 3, true)
+	if w != 8 {
+		t.Fatalf("SetBit(0,3,true) = %d, want 8", w)
+	}
+	if !Bit(w, 3) || Bit(w, 2) {
+		t.Fatalf("Bit readback wrong for %#x", w)
+	}
+	w = FlipBit(w, 3)
+	if w != 0 {
+		t.Fatalf("FlipBit did not clear: %#x", w)
+	}
+	w = SetBit(w, 0, true)
+	w = SetBit(w, 0, false)
+	if w != 0 {
+		t.Fatalf("SetBit(...,false) failed: %#x", w)
+	}
+}
+
+func TestHammingAndDiffBits(t *testing.T) {
+	a, b := Word(0b1011), Word(0b0001)
+	if h := Hamming(a, b); h != 2 {
+		t.Errorf("Hamming = %d, want 2", h)
+	}
+	diff := DiffBits(a, b, 4)
+	if len(diff) != 2 || diff[0] != 1 || diff[1] != 3 {
+		t.Errorf("DiffBits = %v, want [1 3]", diff)
+	}
+	// Width restriction drops out-of-range differences.
+	diff = DiffBits(a, b, 2)
+	if len(diff) != 1 || diff[0] != 1 {
+		t.Errorf("DiffBits width 2 = %v, want [1]", diff)
+	}
+}
+
+func TestRotations(t *testing.T) {
+	w := Word(0b0011)
+	if got := RotL(w, 4, 1); got != 0b0110 {
+		t.Errorf("RotL = %04b, want 0110", got)
+	}
+	if got := RotL(w, 4, 3); got != 0b1001 {
+		t.Errorf("RotL by 3 = %04b, want 1001", got)
+	}
+	if got := RotR(w, 4, 1); got != 0b1001 {
+		t.Errorf("RotR = %04b, want 1001", got)
+	}
+	if got := RotL(w, 4, 4); got != w {
+		t.Errorf("full rotation changed value: %04b", got)
+	}
+	if got := RotL(w, 4, -1); got != RotR(w, 4, 1) {
+		t.Errorf("negative RotL mismatch: %04b", got)
+	}
+}
+
+func TestRotationRoundTrip(t *testing.T) {
+	f := func(w Word, k uint8) bool {
+		width := 13
+		w &= Mask(width)
+		kk := int(k)
+		return RotR(RotL(w, width, kk), width, kk) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	if got := Reverse(0b0010, 4); got != 0b0100 {
+		t.Errorf("Reverse = %04b, want 0100", got)
+	}
+	f := func(w Word) bool {
+		width := 17
+		w &= Mask(width)
+		return Reverse(Reverse(w, width), width) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringParse(t *testing.T) {
+	s := String(0b1010, 6)
+	if s != "001010" {
+		t.Fatalf("String = %q, want 001010", s)
+	}
+	w, err := Parse(s)
+	if err != nil || w != 0b1010 {
+		t.Fatalf("Parse(%q) = %d, %v", s, w, err)
+	}
+	if _, err := Parse("10x1"); err == nil {
+		t.Error("Parse accepted invalid character")
+	}
+	if _, err := Parse(String(0, 64) + "1"); err == nil {
+		t.Error("Parse accepted 65-bit string")
+	}
+}
+
+func TestGrayAdjacency(t *testing.T) {
+	for width := 1; width <= 10; width++ {
+		n := 1 << uint(width)
+		seen := make(map[Word]bool, n)
+		for i := 0; i < n; i++ {
+			g := Gray(Word(i))
+			if seen[g] {
+				t.Fatalf("width %d: duplicate codeword %d", width, g)
+			}
+			seen[g] = true
+			next := Gray(Word((i + 1) % n))
+			if bits.OnesCount64(g^next) != 1 {
+				t.Fatalf("width %d: Gray(%d) and next differ in %d bits", width, i, bits.OnesCount64(g^next))
+			}
+		}
+	}
+}
+
+func TestGrayInverse(t *testing.T) {
+	f := func(i Word) bool {
+		i &= Mask(40)
+		return GrayInverse(Gray(i)) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrayCycle(t *testing.T) {
+	c := GrayCycle(4)
+	if len(c) != 16 {
+		t.Fatalf("GrayCycle(4) length = %d", len(c))
+	}
+	for i, g := range c {
+		next := c[(i+1)%len(c)]
+		if Hamming(g, next) != 1 {
+			t.Fatalf("GrayCycle step %d: Hamming %d", i, Hamming(g, next))
+		}
+	}
+}
+
+func TestEvenCycleInCube(t *testing.T) {
+	for width := 2; width <= 6; width++ {
+		for k := 4; k <= 1<<uint(width); k += 2 {
+			cyc, err := EvenCycleInCube(width, k)
+			if err != nil {
+				t.Fatalf("EvenCycleInCube(%d,%d): %v", width, k, err)
+			}
+			if len(cyc) != k {
+				t.Fatalf("cycle length %d, want %d", len(cyc), k)
+			}
+			seen := make(map[Word]bool, k)
+			for i, v := range cyc {
+				if v >= Word(1)<<uint(width) {
+					t.Fatalf("vertex %d out of H_%d", v, width)
+				}
+				if seen[v] {
+					t.Fatalf("duplicate vertex %d in cycle (width %d, k %d)", v, width, k)
+				}
+				seen[v] = true
+				if Hamming(v, cyc[(i+1)%k]) != 1 {
+					t.Fatalf("non-edge step at %d (width %d, k %d)", i, width, k)
+				}
+			}
+		}
+	}
+}
+
+func TestEvenCycleInCubeErrors(t *testing.T) {
+	if _, err := EvenCycleInCube(1, 4); err == nil {
+		t.Error("accepted width 1")
+	}
+	if _, err := EvenCycleInCube(3, 5); err == nil {
+		t.Error("accepted odd k")
+	}
+	if _, err := EvenCycleInCube(3, 2); err == nil {
+		t.Error("accepted k=2")
+	}
+	if _, err := EvenCycleInCube(3, 10); err == nil {
+		t.Error("accepted k > 2^width")
+	}
+}

@@ -1,0 +1,27 @@
+package bitvec
+
+import "testing"
+
+// FuzzParseString checks the render/parse round trip and rotation
+// inverses on arbitrary words.
+func FuzzParseString(f *testing.F) {
+	f.Add(uint64(0b1010), 7, 3)
+	f.Fuzz(func(t *testing.T, w uint64, width, k int) {
+		if width < 1 || width > 64 {
+			t.Skip()
+		}
+		w &= Mask(width)
+		s := String(w, width)
+		if len(s) != width {
+			t.Fatalf("String length %d, want %d", len(s), width)
+		}
+		got, err := Parse(s)
+		if err != nil || got != w {
+			t.Fatalf("Parse(String(%#x)) = %#x, %v", w, got, err)
+		}
+		k %= 4 * width
+		if RotR(RotL(w, width, k), width, k) != w {
+			t.Fatalf("rotation round trip failed for %#x width %d k %d", w, width, k)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TestTwoPhaseOptimalRounds verifies the headline claim: the structured
+// broadcast completes in exactly diameter rounds (asymptotically — here
+// exactly — optimal), reaching every node.
+func TestTwoPhaseOptimalRounds(t *testing.T) {
+	for _, dims := range [][2]int{{0, 3}, {1, 3}, {2, 3}, {3, 4}, {2, 5}} {
+		hb := core.MustNew(dims[0], dims[1])
+		res, informedAt, err := TwoPhase(hb, hb.Identity())
+		if err != nil {
+			t.Fatalf("HB%v: %v", dims, err)
+		}
+		if res.Reached != hb.Order() {
+			t.Fatalf("HB%v: reached %d of %d", dims, res.Reached, hb.Order())
+		}
+		if res.Rounds != hb.DiameterFormula() {
+			t.Fatalf("HB%v: %d rounds, want diameter %d", dims, res.Rounds, hb.DiameterFormula())
+		}
+		// Every node is informed no earlier than its BFS distance.
+		dist := graph.BFS(hb, hb.Identity(), nil)
+		for v := range informedAt {
+			if informedAt[v] < dist[v] {
+				t.Fatalf("HB%v: node %d informed at %d before distance %d", dims, v, informedAt[v], dist[v])
+			}
+		}
+	}
+}
+
+// TestTwoPhaseFromArbitrarySources exercises vertex symmetry.
+func TestTwoPhaseFromArbitrarySources(t *testing.T) {
+	hb := core.MustNew(2, 4)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		src := rng.Intn(hb.Order())
+		res, _, err := TwoPhase(hb, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reached != hb.Order() || res.Rounds != hb.DiameterFormula() {
+			t.Fatalf("src %d: reached %d rounds %d", src, res.Reached, res.Rounds)
+		}
+	}
+}
+
+func TestFlood(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	res := Flood(hb, 0)
+	if res.Reached != hb.Order() {
+		t.Fatalf("reached %d", res.Reached)
+	}
+	if res.Rounds != hb.DiameterFormula() {
+		t.Fatalf("rounds %d, want %d", res.Rounds, hb.DiameterFormula())
+	}
+	// Flooding sends on the order of 2x the directed edges.
+	if res.Messages <= hb.Order() {
+		t.Fatalf("flood message count %d suspiciously low", res.Messages)
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	res := SpanningTree(hb, 0)
+	if res.Reached != hb.Order() {
+		t.Fatalf("reached %d", res.Reached)
+	}
+	if res.Messages != hb.Order()-1 {
+		t.Fatalf("messages %d, want order-1", res.Messages)
+	}
+	if res.Rounds != hb.DiameterFormula() {
+		t.Fatalf("rounds %d", res.Rounds)
+	}
+}
+
+// TestMessageEfficiencyOrdering: spanning tree <= two-phase <= flood in
+// message count; all equal in rounds.
+func TestMessageEfficiencyOrdering(t *testing.T) {
+	hb := core.MustNew(2, 4)
+	tree := SpanningTree(hb, 0)
+	two, _, err := TwoPhase(hb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flood := Flood(hb, 0)
+	if !(tree.Messages <= two.Messages && two.Messages <= flood.Messages) {
+		t.Fatalf("message ordering violated: tree %d, two-phase %d, flood %d",
+			tree.Messages, two.Messages, flood.Messages)
+	}
+	if tree.Rounds != two.Rounds || two.Rounds != flood.Rounds {
+		t.Fatalf("round counts differ: %d %d %d", tree.Rounds, two.Rounds, flood.Rounds)
+	}
+}

@@ -1,0 +1,358 @@
+package butterfly
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestNewBounds(t *testing.T) {
+	for _, n := range []int{2, 0, -1, MaxDim + 1} {
+		if _, err := New(n); err == nil {
+			t.Errorf("accepted n = %d", n)
+		}
+	}
+	if b, err := New(3); err != nil || b.Order() != 24 {
+		t.Errorf("B_3: %v, order %d", err, b.Order())
+	}
+}
+
+func TestCountsMatchRemark1(t *testing.T) {
+	for n := 3; n <= 7; n++ {
+		b := MustNew(n)
+		d := graph.Build(b)
+		if d.Order() != n<<uint(n) {
+			t.Fatalf("n=%d: order %d", n, d.Order())
+		}
+		if d.EdgeCount() != b.EdgeCountFormula() {
+			t.Fatalf("n=%d: edges %d, want %d", n, d.EdgeCount(), b.EdgeCountFormula())
+		}
+		st := graph.Degrees(d)
+		if !st.Regular || st.Min != 4 {
+			t.Fatalf("n=%d: degrees %+v", n, st)
+		}
+		if err := graph.CheckUndirected(b); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Remark 3: generators are fixed-point free with distinct images.
+		if err := graph.VerifyGeneratorAction(b, 4); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestGeneratorInverses(t *testing.T) {
+	b := MustNew(5)
+	for v := 0; v < b.Order(); v++ {
+		for gen := 0; gen < NumGens; gen++ {
+			if got := b.Apply(InverseGen(gen), b.Apply(gen, v)); got != v {
+				t.Fatalf("%s then %s moved %d to %d",
+					GeneratorNames[gen], GeneratorNames[InverseGen(gen)], v, got)
+			}
+		}
+	}
+}
+
+func TestSplitNodeOfRoundTrip(t *testing.T) {
+	b := MustNew(6)
+	for v := 0; v < b.Order(); v++ {
+		pi, mask := b.Split(v)
+		if b.NodeOf(pi, mask) != v {
+			t.Fatalf("round trip failed for %d", v)
+		}
+	}
+}
+
+func TestNodeOfPanics(t *testing.T) {
+	b := MustNew(3)
+	for _, bad := range []struct {
+		pi   int
+		mask uint64
+	}{{3, 0}, {-1, 0}, {0, 8}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NodeOf(%d,%d) did not panic", bad.pi, bad.mask)
+				}
+			}()
+			b.NodeOf(bad.pi, bad.mask)
+		}()
+	}
+}
+
+func TestPIAndCI(t *testing.T) {
+	b := MustNew(3)
+	id := b.Identity()
+	if b.PI(id) != 0 {
+		t.Errorf("PI(identity) = %d", b.PI(id))
+	}
+	// Definition 1: each left shift (g) increments PI.
+	v := b.Apply(GenG, id)
+	if b.PI(v) != 1 {
+		t.Errorf("PI after g = %d", b.PI(v))
+	}
+	// f complements the symbol that moves to the back. From identity
+	// (t1 t2 t3), f yields t2 t3 t1'; position 3 (symbol t1) is
+	// complemented, so CI = 2^(3-1) = 4 per Definition 2.
+	v = b.Apply(GenF, id)
+	if b.PI(v) != 1 {
+		t.Errorf("PI after f = %d", b.PI(v))
+	}
+	if ci := b.CI(v); ci != 4 {
+		t.Errorf("CI after f = %d, want 4", ci)
+	}
+}
+
+func TestVertexLabel(t *testing.T) {
+	b := MustNew(3)
+	if got := b.VertexLabel(b.Identity()); got != "t1 t2 t3" {
+		t.Errorf("identity label = %q", got)
+	}
+	if got := b.VertexLabel(b.Apply(GenF, b.Identity())); got != "t2 t3 t1'" {
+		t.Errorf("f(identity) label = %q", got)
+	}
+}
+
+func TestClassicalIsomorphism(t *testing.T) {
+	for n := 3; n <= 5; n++ {
+		b := MustNew(n)
+		c, err := NewClassical(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Order() != b.Order() {
+			t.Fatalf("n=%d: orders differ", n)
+		}
+		phi := make([]int, c.Order())
+		for v := range phi {
+			phi[v] = b.FromClassical(c, v)
+		}
+		// Isomorphism = embedding in both directions (equal order and
+		// regular degree make edge preservation sufficient).
+		if err := graph.VerifyEmbedding(c, b, phi); err != nil {
+			t.Fatalf("n=%d classical->cayley: %v", n, err)
+		}
+		inv := make([]int, b.Order())
+		for v := range inv {
+			inv[v] = b.ToClassical(c, v)
+		}
+		if err := graph.VerifyEmbedding(b, c, inv); err != nil {
+			t.Fatalf("n=%d cayley->classical: %v", n, err)
+		}
+		for v := 0; v < b.Order(); v++ {
+			if inv[phi[v]] != v {
+				t.Fatalf("n=%d: maps are not mutually inverse at %d", n, v)
+			}
+		}
+	}
+}
+
+func TestDistanceAgainstBFSExhaustive(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		b := MustNew(n)
+		// Vertex symmetry: BFS from a handful of sources, compare all.
+		for _, src := range []int{0, b.Order() / 3, b.Order() - 1} {
+			dist := graph.BFS(b, src, nil)
+			for v := 0; v < b.Order(); v++ {
+				if got := b.Distance(src, v); got != int(dist[v]) {
+					t.Fatalf("n=%d: Distance(%d,%d) = %d, BFS %d", n, src, v, got, dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceRandomLarger(t *testing.T) {
+	for _, n := range []int{8, 10} {
+		b := MustNew(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 20; trial++ {
+			src := rng.Intn(b.Order())
+			dist := graph.BFS(b, src, nil)
+			for probe := 0; probe < 500; probe++ {
+				v := rng.Intn(b.Order())
+				if got := b.Distance(src, v); got != int(dist[v]) {
+					t.Fatalf("n=%d: Distance(%d,%d) = %d, BFS %d", n, src, v, got, dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	b := MustNew(7)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		u, v := rng.Intn(b.Order()), rng.Intn(b.Order())
+		if b.Distance(u, v) != b.Distance(v, u) {
+			t.Fatalf("asymmetric distance between %d and %d", u, v)
+		}
+	}
+}
+
+func TestRouteRealizesDistance(t *testing.T) {
+	b := MustNew(5)
+	for u := 0; u < b.Order(); u += 7 {
+		for v := 0; v < b.Order(); v++ {
+			path := b.Route(u, v)
+			if len(path)-1 != b.Distance(u, v) {
+				t.Fatalf("route %d->%d has length %d, distance %d", u, v, len(path)-1, b.Distance(u, v))
+			}
+			for i := 1; i < len(path); i++ {
+				if !isNeighbor(b, path[i-1], path[i]) {
+					t.Fatalf("route %d->%d: step %d is not an edge", u, v, i)
+				}
+			}
+			if path[0] != u || path[len(path)-1] != v {
+				t.Fatalf("route endpoints wrong: %v", path)
+			}
+		}
+	}
+}
+
+func isNeighbor(b *Butterfly, u, v Node) bool {
+	for gen := 0; gen < NumGens; gen++ {
+		if b.Apply(gen, u) == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDiameterMatchesFormula(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		b := MustNew(n)
+		// Vertex-transitive: eccentricity of the identity is the diameter.
+		ecc, conn := graph.Eccentricity(b, b.Identity())
+		if !conn {
+			t.Fatalf("n=%d: disconnected", n)
+		}
+		if ecc != b.DiameterFormula() {
+			t.Fatalf("n=%d: diameter %d, formula %d", n, ecc, b.DiameterFormula())
+		}
+	}
+}
+
+func TestConnectivityIsFour(t *testing.T) {
+	for n := 3; n <= 5; n++ {
+		b := MustNew(n)
+		if got := graph.ConnectivityVertexTransitive(b.Dense()); got != 4 {
+			t.Fatalf("n=%d: connectivity %d", n, got)
+		}
+	}
+}
+
+func TestDisjointPaths(t *testing.T) {
+	b := MustNew(4)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		u, v := rng.Intn(b.Order()), rng.Intn(b.Order())
+		if u == v {
+			continue
+		}
+		paths, err := b.DisjointPaths(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.VerifyDisjointPaths(b, u, v, paths); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.DisjointPaths(3, 3); err == nil {
+		t.Error("accepted equal endpoints")
+	}
+	if _, err := b.DisjointPaths(-1, 3); err == nil {
+		t.Error("accepted out-of-range endpoint")
+	}
+}
+
+func TestHamiltonianCycle(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		b := MustNew(n)
+		cyc := b.HamiltonianCycle()
+		if len(cyc) != b.Order() {
+			t.Fatalf("n=%d: cycle length %d, want %d", n, len(cyc), b.Order())
+		}
+		seen := make([]bool, b.Order())
+		for i, v := range cyc {
+			if seen[v] {
+				t.Fatalf("n=%d: repeated node %d at position %d", n, v, i)
+			}
+			seen[v] = true
+			if !isNeighbor(b, v, cyc[(i+1)%len(cyc)]) {
+				t.Fatalf("n=%d: non-edge at position %d", n, i)
+			}
+		}
+	}
+}
+
+func TestLevelCycles(t *testing.T) {
+	b := MustNew(5)
+	cyc := b.LevelCycle(0b10110)
+	if len(cyc) != 5 {
+		t.Fatalf("level cycle length %d", len(cyc))
+	}
+	if err := graph.VerifyCycle(b, cyc); err != nil {
+		t.Fatal(err)
+	}
+	dbl := b.DoubleLevelCycle(0b00101)
+	if len(dbl) != 10 {
+		t.Fatalf("double level cycle length %d", len(dbl))
+	}
+	if err := graph.VerifyCycle(b, dbl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeEmbedding(t *testing.T) {
+	for n := 3; n <= 7; n++ {
+		b := MustNew(n)
+		phi := b.TreeEmbedding()
+		tree := graph.CompleteBinaryTree{Levels: n + 1}
+		if len(phi) != tree.Order() {
+			t.Fatalf("n=%d: embedding size %d, want %d", n, len(phi), tree.Order())
+		}
+		if err := graph.VerifyEmbedding(tree, b, phi); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestCycleKNAllK verifies the full kn-cycle family of Remark 9
+// exhaustively for small n: every lap count k yields a simple cycle of
+// length exactly k·n.
+func TestCycleKNAllK(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		b := MustNew(n)
+		for k := 1; k <= 1<<uint(n); k++ {
+			cyc, err := b.CycleKN(k)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			if len(cyc) != k*n {
+				t.Fatalf("n=%d k=%d: length %d", n, k, len(cyc))
+			}
+			seen := make(map[Node]bool, len(cyc))
+			for i, v := range cyc {
+				if seen[v] {
+					t.Fatalf("n=%d k=%d: repeated node %d at %d", n, k, v, i)
+				}
+				seen[v] = true
+				if !isNeighbor(b, v, cyc[(i+1)%len(cyc)]) {
+					t.Fatalf("n=%d k=%d: non-edge at %d", n, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCycleKNBounds(t *testing.T) {
+	b := MustNew(4)
+	if _, err := b.CycleKN(0); err == nil {
+		t.Error("accepted k = 0")
+	}
+	if _, err := b.CycleKN(17); err == nil {
+		t.Error("accepted k > 2^n")
+	}
+}

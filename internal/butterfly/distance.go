@@ -1,0 +1,187 @@
+package butterfly
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitvec"
+)
+
+// Shortest-path routing in the wrapped butterfly (the scheme the paper
+// cites as [4] and builds HB routing on, Section 3).
+//
+// Moving from permutation index pi to pi+1 (generators g/f) crosses
+// "ring edge" pi of the level ring Z_n and may complement symbol
+// t_{pi+1}; moving from pi to pi-1 (g^{-1}/f^{-1}) crosses ring edge
+// pi-1 and may complement t_{pi}. Hence a route from u=(pi,mask) to
+// v=(pi',mask') is exactly a walk on the ring Z_n from pi to pi' that
+// traverses every ring edge k with bit k set in mask^mask' at least once
+// (the complement is applied on one traversal of each such edge). The
+// shortest route is therefore a minimum-length covering walk on a ring.
+//
+// Any walk's traversed-edge set is an arc of the ring (or the whole
+// ring), so the optimum is found by enumerating:
+//
+//   - proper arcs reaching alpha edges clockwise and beta edges
+//     counter-clockwise from pi (alpha+beta <= n-1) that contain all
+//     required edges and the destination; an optimal walk over an arc
+//     turns at most once and costs 2(alpha+beta) - |e|, where e is the
+//     signed position of pi' in arc coordinates;
+//   - the full ring, costing n + min(cw, ccw) where cw = (pi'-pi) mod n.
+//
+// Tests verify the resulting distances against BFS exhaustively for
+// n in 3..6 and by random sampling for larger n.
+
+// walkPlan describes an optimal covering walk.
+type walkPlan struct {
+	full      bool // traverse the entire ring
+	clockwise bool // full case: initial overshoot direction
+	alpha     int  // arc case: clockwise extent (edges)
+	beta      int  // arc case: counter-clockwise extent (edges)
+	e         int  // arc case: signed destination offset, -beta <= e <= alpha
+}
+
+// planWalk computes the minimum covering-walk length and a realizing
+// plan. req is the set of required ring edges as offsets from the start
+// level: bit k set means ring edge (start+k) mod n must be traversed.
+// cw is the clockwise distance to the destination level.
+func planWalk(n int, req uint64, cw int) (int, walkPlan) {
+	ccw := 0
+	if cw != 0 {
+		ccw = n - cw
+	}
+	// Full-ring candidate.
+	best := n + cw
+	plan := walkPlan{full: true, clockwise: true}
+	if ccw < cw {
+		best = n + ccw
+		plan.clockwise = false
+	}
+	// Proper-arc candidates. Covered edge offsets for (alpha, beta) are
+	// [0, alpha-1] and [n-beta, n-1]. For a fixed beta the cost grows
+	// with alpha, so only two alphas can be optimal: the smallest alpha
+	// covering the required edges not handled by the beta side, and (if
+	// larger) the smallest alpha admitting the clockwise destination.
+	for beta := 0; beta < n; beta++ {
+		ccwMask := bitvec.Mask(beta) << uint(n-beta)
+		rest := req &^ ccwMask
+		minAlpha := bitLen(rest)
+		for _, alpha := range [2]int{minAlpha, cw} {
+			if alpha < minAlpha || alpha+beta > n-1 {
+				continue
+			}
+			if cw <= alpha {
+				if cost := 2*(alpha+beta) - cw; cost < best {
+					best = cost
+					plan = walkPlan{alpha: alpha, beta: beta, e: cw}
+				}
+			}
+			if ccw <= beta {
+				if cost := 2*(alpha+beta) - ccw; cost < best {
+					best = cost
+					plan = walkPlan{alpha: alpha, beta: beta, e: -ccw}
+				}
+			}
+		}
+	}
+	return best, plan
+}
+
+// bitLen returns the number of bits needed to represent x (0 for x == 0).
+func bitLen(x uint64) int { return bits.Len64(x) }
+
+// Distance returns the shortest-path distance between u and v in B_n.
+func (b *Butterfly) Distance(u, v Node) int {
+	piU, maskU := b.Split(u)
+	piV, maskV := b.Split(v)
+	diff := maskU ^ maskV
+	req := bitvec.RotR(diff, b.n, piU) // edge offsets relative to piU
+	cw := (piV - piU + b.n) % b.n
+	d, _ := planWalk(b.n, req, cw)
+	return d
+}
+
+// moves expands a plan into a sequence of +1 (clockwise / left-shift)
+// and -1 (counter-clockwise / right-shift) level steps.
+func (p walkPlan) moves(n, cw int) []int {
+	var seq []int
+	emit := func(dir, count int) {
+		for i := 0; i < count; i++ {
+			seq = append(seq, dir)
+		}
+	}
+	if p.full {
+		if p.clockwise {
+			emit(+1, cw)
+			emit(-1, n)
+		} else {
+			emit(-1, n-cw) // ccw overshoot to destination's ccw image
+			emit(+1, n)
+		}
+		return seq
+	}
+	if p.e >= 0 {
+		// Counter-clockwise first: to -beta, up to alpha, back to e.
+		emit(-1, p.beta)
+		emit(+1, p.alpha+p.beta)
+		emit(-1, p.alpha-p.e)
+	} else {
+		emit(+1, p.alpha)
+		emit(-1, p.alpha+p.beta)
+		emit(+1, p.e+p.beta)
+	}
+	return seq
+}
+
+// Route returns a shortest path from u to v as a node sequence including
+// both endpoints; its length always equals Distance(u, v) + 1.
+func (b *Butterfly) Route(u, v Node) []Node {
+	gens := b.RouteGenerators(u, v)
+	path := make([]Node, 0, len(gens)+1)
+	path = append(path, u)
+	cur := u
+	for _, g := range gens {
+		cur = b.Apply(g, cur)
+		path = append(path, cur)
+	}
+	if cur != v {
+		panic(fmt.Sprintf("butterfly: route from %d ended at %d, want %d", u, cur, v))
+	}
+	return path
+}
+
+// RouteGenerators returns the generator sequence of a shortest u-v path.
+// Crossing a ring edge whose symbol still differs from the destination
+// applies the complementing generator (f or f^{-1}); all other crossings
+// use g/g^{-1}. Repeated crossings of the same edge therefore complement
+// at most once.
+func (b *Butterfly) RouteGenerators(u, v Node) []int {
+	piU, maskU := b.Split(u)
+	piV, maskV := b.Split(v)
+	diff := maskU ^ maskV
+	req := bitvec.RotR(diff, b.n, piU)
+	cw := (piV - piU + b.n) % b.n
+	_, plan := planWalk(b.n, req, cw)
+
+	gens := make([]int, 0, 3*b.n/2)
+	cur := u
+	for _, dir := range plan.moves(b.n, cw) {
+		pi, mask := b.Split(cur)
+		var gen int
+		if dir > 0 {
+			gen = GenG
+			if (mask^maskV)&(1<<uint(pi)) != 0 {
+				gen = GenF
+			}
+		} else {
+			gen = GenGInv
+			prev := (pi + b.n - 1) % b.n
+			if (mask^maskV)&(1<<uint(prev)) != 0 {
+				gen = GenFInv
+			}
+		}
+		gens = append(gens, gen)
+		cur = b.Apply(gen, cur)
+	}
+	return gens
+}

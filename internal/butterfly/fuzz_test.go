@@ -1,0 +1,64 @@
+package butterfly
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Fuzzing complements the exhaustive and property tests: the harness
+// mutates raw node pairs and the invariants must hold for every input
+// after folding into range.
+
+var fuzzDist struct {
+	once sync.Once
+	b    *Butterfly
+	d    [][]int32
+}
+
+func fuzzDistances() (*Butterfly, [][]int32) {
+	fuzzDist.once.Do(func() {
+		fuzzDist.b = MustNew(4)
+		fuzzDist.d = make([][]int32, fuzzDist.b.Order())
+		for v := range fuzzDist.d {
+			fuzzDist.d[v] = graph.BFS(fuzzDist.b, v, nil)
+		}
+	})
+	return fuzzDist.b, fuzzDist.d
+}
+
+// FuzzDistanceMatchesBFS cross-checks the analytic distance (and the
+// route that realises it) against the full BFS table of B_4.
+func FuzzDistanceMatchesBFS(f *testing.F) {
+	f.Add(uint16(0), uint16(1))
+	f.Add(uint16(17), uint16(63))
+	f.Add(uint16(999), uint16(3))
+	f.Fuzz(func(t *testing.T, a, b uint16) {
+		bf, dist := fuzzDistances()
+		u := int(a) % bf.Order()
+		v := int(b) % bf.Order()
+		want := int(dist[u][v])
+		if got := bf.Distance(u, v); got != want {
+			t.Fatalf("Distance(%d,%d) = %d, BFS %d", u, v, got, want)
+		}
+		if path := bf.Route(u, v); len(path)-1 != want {
+			t.Fatalf("Route(%d,%d) length %d, distance %d", u, v, len(path)-1, want)
+		}
+	})
+}
+
+// FuzzGroupLaws checks the Cayley group axioms on fuzzed elements.
+func FuzzGroupLaws(f *testing.F) {
+	f.Add(uint16(1), uint16(2), uint16(3))
+	f.Fuzz(func(t *testing.T, a, b, c uint16) {
+		bf := MustNew(5)
+		x, y, z := int(a)%bf.Order(), int(b)%bf.Order(), int(c)%bf.Order()
+		if bf.Mul(bf.Mul(x, y), z) != bf.Mul(x, bf.Mul(y, z)) {
+			t.Fatalf("associativity fails at (%d,%d,%d)", x, y, z)
+		}
+		if bf.Mul(x, bf.Inverse(x)) != bf.Identity() {
+			t.Fatalf("inverse fails at %d", x)
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package butterfly
+
+// Group structure of B_n (Theorem 1 context): the node set is the group
+// Z_n ⋉ Z_2^n with product
+//
+//	(r1, c1) · (r2, c2) = ((r1+r2) mod n, c1 xor rot^{r1}(c2))
+//
+// where rot is a one-position left rotation of the symbol mask. Edges of
+// the Cayley graph connect x to x·s for generators s, so every left
+// translation x -> t·x is a graph automorphism; translations are how
+// embeddings anchored at the identity are re-rooted anywhere (used by
+// the tree embeddings of Section 4 and the vertex-symmetry argument of
+// Remark 7).
+
+import "repro/internal/bitvec"
+
+// Mul returns the group product a·b of two nodes.
+func (b *Butterfly) Mul(x, y Node) Node {
+	r1, c1 := b.Split(x)
+	r2, c2 := b.Split(y)
+	return b.NodeOf((r1+r2)%b.n, c1^bitvec.RotL(c2, b.n, r1))
+}
+
+// Inverse returns the group inverse of x: the node y with x·y = identity.
+func (b *Butterfly) Inverse(x Node) Node {
+	r, c := b.Split(x)
+	ri := (b.n - r) % b.n
+	return b.NodeOf(ri, bitvec.RotL(c, b.n, ri))
+}
+
+// Translate returns t·x, the image of x under the automorphism "left
+// translation by t".
+func (b *Butterfly) Translate(t, x Node) Node { return b.Mul(t, x) }

@@ -1,0 +1,77 @@
+package butterfly
+
+import "testing"
+
+func TestGroupIdentityAndInverse(t *testing.T) {
+	b := MustNew(5)
+	id := b.Identity()
+	for v := 0; v < b.Order(); v++ {
+		if b.Mul(id, v) != v || b.Mul(v, id) != v {
+			t.Fatalf("identity law fails at %d", v)
+		}
+		if b.Mul(v, b.Inverse(v)) != id {
+			t.Fatalf("right inverse fails at %d", v)
+		}
+		if b.Mul(b.Inverse(v), v) != id {
+			t.Fatalf("left inverse fails at %d", v)
+		}
+	}
+}
+
+func TestGroupAssociativitySampled(t *testing.T) {
+	b := MustNew(4)
+	// Exhaustive over a stride to keep the cube of cases manageable.
+	for x := 0; x < b.Order(); x += 3 {
+		for y := 0; y < b.Order(); y += 5 {
+			for z := 0; z < b.Order(); z += 7 {
+				if b.Mul(b.Mul(x, y), z) != b.Mul(x, b.Mul(y, z)) {
+					t.Fatalf("associativity fails at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratorsAsElements verifies that right multiplication by the
+// generator elements reproduces Apply, i.e. the graph really is the
+// Cayley graph of this group presentation (Theorem 1).
+func TestGeneratorsAsElements(t *testing.T) {
+	b := MustNew(5)
+	id := b.Identity()
+	for gen := 0; gen < NumGens; gen++ {
+		s := b.Apply(gen, id)
+		for v := 0; v < b.Order(); v++ {
+			if b.Mul(v, s) != b.Apply(gen, v) {
+				t.Fatalf("right multiplication by %s disagrees with Apply at %d",
+					GeneratorNames[gen], v)
+			}
+		}
+	}
+}
+
+// TestTranslationIsAutomorphism checks that left translation preserves
+// adjacency — the heart of vertex transitivity (Remark 7).
+func TestTranslationIsAutomorphism(t *testing.T) {
+	b := MustNew(4)
+	var buf, tbuf []int
+	for _, tr := range []int{1, 7, 33, b.Order() - 1} {
+		for v := 0; v < b.Order(); v++ {
+			tv := b.Translate(tr, v)
+			buf = b.AppendNeighbors(v, buf[:0])
+			tbuf = b.AppendNeighbors(tv, tbuf[:0])
+			for _, w := range buf {
+				tw := b.Translate(tr, w)
+				found := false
+				for _, x := range tbuf {
+					if x == tw {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("translation by %d breaks edge %d-%d", tr, v, w)
+				}
+			}
+		}
+	}
+}

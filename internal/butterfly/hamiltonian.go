@@ -1,0 +1,89 @@
+package butterfly
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// HamiltonianCycle returns a Hamiltonian cycle of B_n as a sequence of
+// its n·2^n nodes (consecutive nodes, including last-to-first, joined by
+// generator edges).
+//
+// Construction ("binary-counting laps"): starting at (pi=0, mask=0),
+// perform 2^n laps of n left-shift steps each. Lap j transforms the mask
+// from j-1 to j (the final lap wraps 2^n-1 back to 0): while crossing
+// ring edge r during the lap, the f generator is chosen exactly when bit
+// r of (j-1) xor j is set. The node visited at lap j, position r, is
+// (r, low_r(j) | high_r(j-1)) — low bits already updated, high bits not
+// yet — and the map j -> (low_r(j), high_r(j-1)) is injective for every
+// r, so all n·2^n visited nodes are distinct. This realises the cycle
+// family behind Lemma 2 / reference [7] at full length; tests verify
+// distinctness and adjacency exhaustively.
+func (b *Butterfly) HamiltonianCycle() []Node {
+	cycle, err := b.CycleKN(1 << uint(b.n))
+	if err != nil {
+		panic(err) // k = 2^n is always in range
+	}
+	return cycle
+}
+
+// CycleKN returns a simple cycle of length k·n in B_n for any
+// 1 <= k <= 2^n, the k'=0 slice of the kn+2k' cycle family of Remark 9
+// (reference [7]). k = 2^n gives the Hamiltonian cycle.
+//
+// The construction truncates the binary-counting-laps scheme: laps walk
+// the masks 0, 1, …, k-1 and wrap back to 0. Distinctness of the
+// visited nodes follows from the same low-bits/high-bits injectivity
+// argument as HamiltonianCycle, which survives truncation because it
+// only compares consecutive integers; tests verify all k exhaustively
+// for n <= 6.
+func (b *Butterfly) CycleKN(k int) ([]Node, error) {
+	if k < 1 || k > 1<<uint(b.n) {
+		return nil, fmt.Errorf("butterfly: no %d-lap cycle in B_%d (need 1 <= k <= %d)", k, b.n, 1<<uint(b.n))
+	}
+	cycle := make([]Node, 0, k*b.n)
+	cur := b.Identity()
+	for j := 1; j <= k; j++ {
+		prev := uint64(j - 1)
+		next := uint64(j)
+		if j == k {
+			next = 0
+		}
+		flips := prev ^ next
+		for r := 0; r < b.n; r++ {
+			cycle = append(cycle, cur)
+			if bitvec.Bit(flips, r) {
+				cur = b.Apply(GenF, cur)
+			} else {
+				cur = b.Apply(GenG, cur)
+			}
+		}
+	}
+	return cycle, nil
+}
+
+// LevelCycle returns the n-cycle through the nodes (0,mask), (1,mask),
+// …, (n-1,mask) traced by the g generator: the shortest cycles of B_n
+// used by the small-cycle embeddings.
+func (b *Butterfly) LevelCycle(mask uint64) []Node {
+	cycle := make([]Node, b.n)
+	for r := 0; r < b.n; r++ {
+		cycle[r] = b.NodeOf(r, mask)
+	}
+	return cycle
+}
+
+// DoubleLevelCycle returns the 2n-cycle obtained by applying f for two
+// full laps: lap one complements every symbol, lap two restores them.
+// Together with LevelCycle it exhibits the kn+2k' cycle family of
+// Remark 9 at its two smallest parameter points.
+func (b *Butterfly) DoubleLevelCycle(mask uint64) []Node {
+	cycle := make([]Node, 0, 2*b.n)
+	cur := b.NodeOf(0, mask)
+	for i := 0; i < 2*b.n; i++ {
+		cycle = append(cycle, cur)
+		cur = b.Apply(GenF, cur)
+	}
+	return cycle
+}

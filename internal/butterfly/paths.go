@@ -1,0 +1,46 @@
+package butterfly
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// dense caches the materialised adjacency of b for the flow-based
+// algorithms; it is built at most once.
+type denseCache struct {
+	once sync.Once
+	d    *graph.Dense
+}
+
+var denseCaches sync.Map // *Butterfly -> *denseCache
+
+// Dense returns the materialised adjacency of b, building and caching it
+// on first use. Safe for concurrent use.
+func (b *Butterfly) Dense() *graph.Dense {
+	ci, _ := denseCaches.LoadOrStore(b, &denseCache{})
+	c := ci.(*denseCache)
+	c.once.Do(func() { c.d = graph.Build(b) })
+	return c.d
+}
+
+// DisjointPaths returns 4 pairwise internally vertex-disjoint paths from
+// u to v (u != v), the maximum possible since B_n is 4-regular with
+// vertex connectivity 4 (Remark 1). The paths are extracted from a
+// unit-capacity max-flow (Menger), so the count is exact by
+// construction; the paper's Theorem 5 composes these with hypercube
+// disjoint paths to reach connectivity m+4 in HB(m,n).
+func (b *Butterfly) DisjointPaths(u, v Node) ([][]Node, error) {
+	if u == v {
+		return nil, fmt.Errorf("butterfly: DisjointPaths endpoints equal (%d)", u)
+	}
+	if u < 0 || u >= b.size || v < 0 || v >= b.size {
+		return nil, fmt.Errorf("butterfly: endpoints %d,%d out of range [0,%d)", u, v, b.size)
+	}
+	paths := graph.DisjointPaths(b.Dense(), u, v, 4)
+	if len(paths) != 4 {
+		return nil, fmt.Errorf("butterfly: found %d disjoint paths between %d and %d, want 4", len(paths), u, v)
+	}
+	return paths, nil
+}

@@ -1,0 +1,62 @@
+package butterfly
+
+import (
+	"repro/internal/graph"
+)
+
+// TreeEmbedding returns an embedding of the complete binary tree T(n+1)
+// (2^(n+1)-1 vertices, heap order) into B_n, proving Lemma 3
+// constructively. The returned slice maps tree vertex -> butterfly node.
+//
+// Construction (in the classical <word, level> view, then translated):
+// the root is <0,0> and the tree follows butterfly levels downward; the
+// node at depth d reached by crossing decisions c_0…c_{d-1} is
+// <c, d mod n> where bit i of c is c_i. Depths 0..n-1 use each level
+// once, so all internal vertices are distinct. Depth-n leaves wrap to
+// level 0: the children of <w, n-1> are <w, 0> and <w xor e_{n-1}, 0>.
+// That assigns every level-0 word exactly once — including the root's
+// word 0, a collision. The single colliding leaf (straight child of the
+// all-straight parent <0, n-1>) is rerouted to <e_{n-2}, n-2>, which is
+// adjacent to its parent via the cross edge down to level n-2 and is
+// unused (level n-2 internal vertices all have bits n-2 and n-1 clear).
+func (b *Butterfly) TreeEmbedding() []Node {
+	n := b.n
+	classical, err := NewClassical(n)
+	if err != nil {
+		panic(err) // b's dimension is already validated
+	}
+	tree := graph.CompleteBinaryTree{Levels: n + 1}
+	phi := make([]Node, tree.Order())
+
+	// words[v] is the classical word of tree vertex v for depths < n.
+	words := make([]uint64, tree.Order())
+	assign := func(v int, level int, w uint64) {
+		phi[v] = b.FromClassical(classical, classical.Encode(level, w))
+	}
+	assign(0, 0, 0)
+	v := 0
+	for depth := 0; depth < n; depth++ {
+		first := 1<<uint(depth) - 1
+		last := 2 * first
+		for v = first; v <= last; v++ {
+			w := words[v]
+			left, right := 2*v+1, 2*v+2
+			if depth < n-1 {
+				words[left] = w
+				words[right] = w | 1<<uint(depth)
+				assign(left, depth+1, words[left])
+				assign(right, depth+1, words[right])
+				continue
+			}
+			// depth == n-1: wrap to level 0.
+			if w == 0 {
+				// Reroute the colliding straight child.
+				assign(left, n-2, 1<<uint(n-2))
+			} else {
+				assign(left, 0, w)
+			}
+			assign(right, 0, w|1<<uint(n-1))
+		}
+	}
+	return phi
+}

@@ -1,0 +1,170 @@
+package collectives
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func randomValues(n int, seed int64) ([]int64, int64, int64) {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	var sum, max int64
+	max = -1 << 62
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1000) - 500)
+		sum += vals[i]
+		if vals[i] > max {
+			max = vals[i]
+		}
+	}
+	return vals, sum, max
+}
+
+func TestReduce(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	vals, sum, max := randomValues(hb.Order(), 1)
+	for _, root := range []int{0, 17, hb.Order() - 1} {
+		got, st, err := Reduce(hb, root, vals, Sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != sum {
+			t.Fatalf("root %d: sum %d, want %d", root, got, sum)
+		}
+		if st.Messages != hb.Order()-1 {
+			t.Fatalf("messages %d", st.Messages)
+		}
+		ecc, _ := graph.Eccentricity(hb, root)
+		if st.Rounds != ecc {
+			t.Fatalf("rounds %d, want eccentricity %d", st.Rounds, ecc)
+		}
+		gotMax, _, err := Reduce(hb, root, vals, Max)
+		if err != nil || gotMax != max {
+			t.Fatalf("max %d want %d err %v", gotMax, max, err)
+		}
+	}
+	if _, _, err := Reduce(hb, 0, vals[:3], Sum); err == nil {
+		t.Error("accepted short values")
+	}
+	disc := graph.NewDense(4, [][2]int{{0, 1}, {2, 3}})
+	if _, _, err := Reduce(disc, 0, make([]int64, 4), Sum); err == nil {
+		t.Error("accepted disconnected graph")
+	}
+}
+
+func TestGather(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	vals, _, _ := randomValues(hb.Order(), 2)
+	out, st, err := Gather(hb, 0, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatalf("gathered value %d corrupted", i)
+		}
+	}
+	// Value-hops strictly exceed N-1 (deep values travel farther).
+	if st.Messages <= hb.Order()-1 {
+		t.Fatalf("gather hops %d suspiciously low", st.Messages)
+	}
+	if _, _, err := Gather(hb, 0, vals[:2]); err == nil {
+		t.Error("accepted short values")
+	}
+}
+
+// TestAllReduceHB is the headline: correct result, every phase local,
+// and exactly m + 2·⌊3n/2⌋ rounds — m better than the tree baseline.
+func TestAllReduceHB(t *testing.T) {
+	for _, dims := range [][2]int{{0, 3}, {1, 3}, {2, 4}, {3, 3}} {
+		hb := core.MustNew(dims[0], dims[1])
+		vals, sum, max := randomValues(hb.Order(), int64(dims[0]+dims[1]))
+		got, st, err := AllReduceHB(hb, vals, Sum)
+		if err != nil {
+			t.Fatalf("HB%v: %v", dims, err)
+		}
+		if got != sum {
+			t.Fatalf("HB%v: sum %d, want %d", dims, got, sum)
+		}
+		wantRounds := dims[0] + 2*hb.Butterfly().DiameterFormula()
+		if st.Rounds != wantRounds {
+			t.Fatalf("HB%v: rounds %d, want %d", dims, st.Rounds, wantRounds)
+		}
+		gotMax, _, err := AllReduceHB(hb, vals, Max)
+		if err != nil || gotMax != max {
+			t.Fatalf("HB%v: max %d want %d err %v", dims, gotMax, max, err)
+		}
+
+		tree, treeSt, err := AllReduceTree(hb, hb.Identity(), vals, Sum)
+		if err != nil || tree != sum {
+			t.Fatalf("HB%v: tree allreduce %d err %v", dims, tree, err)
+		}
+		if dims[0] > 0 && st.Rounds >= treeSt.Rounds {
+			t.Fatalf("HB%v: structured %d rounds not below tree %d", dims, st.Rounds, treeSt.Rounds)
+		}
+	}
+	hb := core.MustNew(1, 3)
+	if _, _, err := AllReduceHB(hb, make([]int64, 3), Sum); err == nil {
+		t.Error("accepted short values")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	st, err := Barrier(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 2+2*4 {
+		t.Fatalf("barrier rounds %d", st.Rounds)
+	}
+}
+
+func TestScan(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	vals, _, _ := randomValues(hb.Order(), 9)
+	prefix, preorder, st, err := Scan(hb, 5, vals, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preorder) != hb.Order() {
+		t.Fatalf("preorder covers %d nodes", len(preorder))
+	}
+	// Check against the sequential prefix over the preorder.
+	var acc int64
+	seen := make(map[int]bool)
+	for _, v := range preorder {
+		if seen[v] {
+			t.Fatalf("preorder repeats %d", v)
+		}
+		seen[v] = true
+		acc += vals[v]
+		if prefix[v] != acc {
+			t.Fatalf("prefix at %d = %d, want %d", v, prefix[v], acc)
+		}
+	}
+	ecc, _ := graph.Eccentricity(hb, 5)
+	if st.Rounds != 2*ecc || st.Messages != 2*(hb.Order()-1) {
+		t.Fatalf("stats %+v", st)
+	}
+	// Non-commutative op sanity: Max works too (idempotent, associative).
+	pmax, preorder2, _, err := Scan(hb, 0, vals, Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m int64 = -1 << 62
+	for _, v := range preorder2 {
+		if vals[v] > m {
+			m = vals[v]
+		}
+		if pmax[v] != m {
+			t.Fatalf("max prefix at %d = %d, want %d", v, pmax[v], m)
+		}
+	}
+	if _, _, _, err := Scan(hb, 0, vals[:2], Sum); err == nil {
+		t.Error("accepted short values")
+	}
+}

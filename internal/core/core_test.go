@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/butterfly"
+	"repro/internal/graph"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, 4); err == nil {
+		t.Error("accepted m = -1")
+	}
+	if _, err := New(2, 2); err == nil {
+		t.Error("accepted n = 2")
+	}
+	hb, err := New(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Order() != 24 || hb.Degree() != 4 {
+		t.Errorf("HB(0,3): order %d degree %d", hb.Order(), hb.Degree())
+	}
+}
+
+// TestTheorem2 verifies order, regularity, degree and edge count for a
+// sweep of (m,n).
+func TestTheorem2(t *testing.T) {
+	for m := 0; m <= 3; m++ {
+		for n := 3; n <= 5; n++ {
+			hb := MustNew(m, n)
+			if hb.Order() != n<<uint(m+n) {
+				t.Fatalf("HB(%d,%d): order %d, want %d", m, n, hb.Order(), n<<uint(m+n))
+			}
+			d := graph.Build(hb)
+			if d.EdgeCount() != hb.EdgeCountFormula() {
+				t.Fatalf("HB(%d,%d): edges %d, want %d", m, n, d.EdgeCount(), hb.EdgeCountFormula())
+			}
+			st := graph.Degrees(d)
+			if !st.Regular || st.Min != m+4 {
+				t.Fatalf("HB(%d,%d): degrees %+v", m, n, st)
+			}
+			if err := graph.CheckUndirected(hb); err != nil {
+				t.Fatalf("HB(%d,%d): %v", m, n, err)
+			}
+			// Remark 3: fixed-point free generators with distinct images.
+			if err := graph.VerifyGeneratorAction(hb, m+4); err != nil {
+				t.Fatalf("HB(%d,%d): %v", m, n, err)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	hb := MustNew(3, 4)
+	for v := 0; v < hb.Order(); v++ {
+		h, b := hb.Decode(v)
+		if hb.Encode(h, b) != v {
+			t.Fatalf("round trip failed at %d", v)
+		}
+	}
+}
+
+func TestEncodePanics(t *testing.T) {
+	hb := MustNew(2, 3)
+	for _, bad := range [][2]int{{4, 0}, {-1, 0}, {0, 24}, {0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Encode(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			hb.Encode(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestMovesMatchNeighbors(t *testing.T) {
+	hb := MustNew(2, 3)
+	moves := hb.Moves()
+	if len(moves) != 6 {
+		t.Fatalf("Moves: %v", moves)
+	}
+	var buf []int
+	for v := 0; v < hb.Order(); v++ {
+		buf = hb.AppendNeighbors(v, buf[:0])
+		for k, mv := range moves {
+			if hb.Apply(mv, v) != buf[k] {
+				t.Fatalf("move %v disagrees with neighbor %d of %d", mv, k, v)
+			}
+			// Closure under inverse (Remark 3).
+			if hb.Apply(mv.Inverse(), hb.Apply(mv, v)) != v {
+				t.Fatalf("inverse of %v failed at %d", mv, v)
+			}
+		}
+	}
+}
+
+func TestMoveString(t *testing.T) {
+	if got := (Move{Cube: true, Index: 2}).String(); got != "h2" {
+		t.Errorf("cube move = %q", got)
+	}
+	if got := (Move{Index: butterfly.GenFInv}).String(); got != "f-1" {
+		t.Errorf("butterfly move = %q", got)
+	}
+}
+
+// TestRemark8Distance checks the distance decomposition against BFS.
+func TestRemark8Distance(t *testing.T) {
+	for _, dims := range [][2]int{{1, 3}, {2, 3}, {2, 4}} {
+		hb := MustNew(dims[0], dims[1])
+		for _, src := range []int{0, hb.Order() / 2, hb.Order() - 1} {
+			dist := graph.BFS(hb, src, nil)
+			for v := 0; v < hb.Order(); v++ {
+				if got := hb.Distance(src, v); got != int(dist[v]) {
+					t.Fatalf("HB%v: Distance(%d,%d) = %d, BFS %d", dims, src, v, got, dist[v])
+				}
+			}
+		}
+	}
+}
+
+// TestRemark6Routing checks that the two-phase route realises the
+// distance and is a valid path.
+func TestRemark6Routing(t *testing.T) {
+	hb := MustNew(2, 3)
+	for u := 0; u < hb.Order(); u += 3 {
+		for v := 0; v < hb.Order(); v++ {
+			p := hb.Route(u, v)
+			if len(p)-1 != hb.Distance(u, v) {
+				t.Fatalf("route %d->%d length %d, distance %d", u, v, len(p)-1, hb.Distance(u, v))
+			}
+			if err := graph.VerifyPath(hb, p); err != nil && u != v {
+				t.Fatalf("route %d->%d: %v", u, v, err)
+			}
+		}
+	}
+}
+
+func TestRouteMovesRandomLarge(t *testing.T) {
+	hb := MustNew(4, 6)
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 2000; trial++ {
+		u, v := rng.Intn(hb.Order()), rng.Intn(hb.Order())
+		moves := hb.RouteMoves(u, v)
+		if len(moves) != hb.Distance(u, v) {
+			t.Fatalf("moves %d, distance %d", len(moves), hb.Distance(u, v))
+		}
+		cur := u
+		for _, mv := range moves {
+			cur = hb.Apply(mv, cur)
+		}
+		if cur != v {
+			t.Fatalf("moves from %d ended at %d, want %d", u, cur, v)
+		}
+	}
+}
+
+// TestTheorem3Diameter verifies the diameter formula by BFS from the
+// identity (HB is vertex-transitive, Remark 7).
+func TestTheorem3Diameter(t *testing.T) {
+	for m := 0; m <= 3; m++ {
+		for n := 3; n <= 5; n++ {
+			hb := MustNew(m, n)
+			ecc, conn := graph.Eccentricity(hb, hb.Identity())
+			if !conn {
+				t.Fatalf("HB(%d,%d) disconnected", m, n)
+			}
+			if ecc != hb.DiameterFormula() {
+				t.Fatalf("HB(%d,%d): diameter %d, formula %d", m, n, ecc, hb.DiameterFormula())
+			}
+			// For even n the paper's printed formula agrees exactly.
+			if n%2 == 0 && ecc != hb.DiameterFormulaPaper() {
+				t.Fatalf("HB(%d,%d): diameter %d, paper formula %d", m, n, ecc, hb.DiameterFormulaPaper())
+			}
+		}
+	}
+}
+
+// TestVertexTransitivity spot-checks Remark 7: the distance histogram
+// from several sources is identical.
+func TestVertexTransitivity(t *testing.T) {
+	hb := MustNew(2, 4)
+	ref := histogram(graph.BFS(hb, 0, nil))
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 10; trial++ {
+		src := rng.Intn(hb.Order())
+		got := histogram(graph.BFS(hb, src, nil))
+		if len(got) != len(ref) {
+			t.Fatalf("histogram lengths differ from %d", src)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("histogram differs from source %d at distance %d", src, i)
+			}
+		}
+	}
+}
+
+func histogram(dist []int32) []int {
+	var h []int
+	for _, d := range dist {
+		for int(d) >= len(h) {
+			h = append(h, 0)
+		}
+		h[d]++
+	}
+	return h
+}
+
+// TestRemark5Decomposition verifies the two partitions.
+func TestRemark5Decomposition(t *testing.T) {
+	hb := MustNew(2, 3)
+	seen := make([]bool, hb.Order())
+	parts := hb.HypercubePartition()
+	if len(parts) != hb.Butterfly().Order() {
+		t.Fatalf("%d sub-hypercubes", len(parts))
+	}
+	for b, part := range parts {
+		if len(part) != 4 {
+			t.Fatalf("sub-hypercube %d has %d nodes", b, len(part))
+		}
+		for h, v := range part {
+			if seen[v] {
+				t.Fatalf("node %d in two sub-hypercubes", v)
+			}
+			seen[v] = true
+			gh, gb := hb.Decode(v)
+			if gh != h || gb != b {
+				t.Fatalf("sub-hypercube indexing wrong at (%d,%d)", h, b)
+			}
+		}
+		// The part really is an H_m: all pairs at Hamming distance 1 adjacent.
+		d := graph.Build(hb)
+		for _, x := range part {
+			deg := 0
+			for _, y := range part {
+				if x != y && d.HasEdge(x, y) {
+					deg++
+				}
+			}
+			if deg != hb.M() {
+				t.Fatalf("sub-hypercube node %d has %d intra-part edges", x, deg)
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("node %d missing from partition", v)
+		}
+	}
+
+	bparts := hb.ButterflyPartition()
+	if len(bparts) != 4 {
+		t.Fatalf("%d sub-butterflies", len(bparts))
+	}
+	seen = make([]bool, hb.Order())
+	for _, part := range bparts {
+		if len(part) != hb.Butterfly().Order() {
+			t.Fatalf("sub-butterfly size %d", len(part))
+		}
+		for _, v := range part {
+			if seen[v] {
+				t.Fatalf("node %d in two sub-butterflies", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestVertexLabel(t *testing.T) {
+	hb := MustNew(3, 3)
+	if got := hb.VertexLabel(hb.Identity()); got != "(000; t1 t2 t3)" {
+		t.Errorf("identity label = %q", got)
+	}
+	v := hb.Apply(Move{Cube: true, Index: 2}, hb.Identity())
+	if got := hb.VertexLabel(v); got != "(100; t1 t2 t3)" {
+		t.Errorf("h2 label = %q", got)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+// Decompositions of Remark 5: HB(m,n) splits into n·2^n disjoint copies
+// of H_m (one per butterfly-part label) and into 2^m disjoint copies of
+// B_n (one per hypercube-part label). These node enumerations back the
+// partitionability experiments and the Theorem 5 path construction.
+
+// SubHypercube returns the 2^m nodes sharing the butterfly-part label b,
+// indexed so that element h is the node (h; b): the sub-hypercube
+// (H_m, b).
+func (hb *HyperButterfly) SubHypercube(b int) []Node {
+	nodes := make([]Node, hb.cube.Order())
+	for h := range nodes {
+		nodes[h] = hb.Encode(h, b)
+	}
+	return nodes
+}
+
+// SubButterfly returns the n·2^n nodes sharing the hypercube-part label
+// h, indexed so that element b is the node (h; b): the sub-butterfly
+// (h, B_n).
+func (hb *HyperButterfly) SubButterfly(h int) []Node {
+	nodes := make([]Node, hb.bSize)
+	for b := range nodes {
+		nodes[b] = hb.Encode(h, b)
+	}
+	return nodes
+}
+
+// HypercubePartition returns all n·2^n sub-hypercubes; together they
+// partition the node set (Remark 5).
+func (hb *HyperButterfly) HypercubePartition() [][]Node {
+	parts := make([][]Node, hb.bSize)
+	for b := range parts {
+		parts[b] = hb.SubHypercube(b)
+	}
+	return parts
+}
+
+// ButterflyPartition returns all 2^m sub-butterflies; together they
+// partition the node set (Remark 5).
+func (hb *HyperButterfly) ButterflyPartition() [][]Node {
+	parts := make([][]Node, hb.cube.Order())
+	for h := range parts {
+		parts[h] = hb.SubButterfly(h)
+	}
+	return parts
+}

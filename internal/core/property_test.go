@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// Property-based tests (testing/quick) on the metric and group
+// invariants of HB(m,n). Inputs are folded into the valid node range so
+// every generated case is meaningful.
+
+func quickConfig(seed int64) *quick.Config {
+	return &quick.Config{
+		MaxCount: 2000,
+		Rand:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+func fold(hb *HyperButterfly, raw uint32) Node {
+	return int(raw) % hb.Order()
+}
+
+// TestQuickMetricAxioms: Distance is a metric — identity, symmetry, and
+// the triangle inequality (exercised through random triples).
+func TestQuickMetricAxioms(t *testing.T) {
+	hb := MustNew(3, 5)
+	f := func(a, b, c uint32) bool {
+		u, v, w := fold(hb, a), fold(hb, b), fold(hb, c)
+		duv := hb.Distance(u, v)
+		if (duv == 0) != (u == v) {
+			return false
+		}
+		if duv != hb.Distance(v, u) {
+			return false
+		}
+		return duv <= hb.Distance(u, w)+hb.Distance(w, v)
+	}
+	if err := quick.Check(f, quickConfig(35)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDistanceWithinDiameter: no pair exceeds the Theorem 3 bound.
+func TestQuickDistanceWithinDiameter(t *testing.T) {
+	hb := MustNew(4, 7)
+	f := func(a, b uint32) bool {
+		return hb.Distance(fold(hb, a), fold(hb, b)) <= hb.DiameterFormula()
+	}
+	if err := quick.Check(f, quickConfig(47)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRouteRealizesDistance: the generator route always lands on
+// the destination in exactly Distance moves, and each move changes the
+// node (no null steps).
+func TestQuickRouteRealizesDistance(t *testing.T) {
+	hb := MustNew(2, 6)
+	f := func(a, b uint32) bool {
+		u, v := fold(hb, a), fold(hb, b)
+		moves := hb.RouteMoves(u, v)
+		if len(moves) != hb.Distance(u, v) {
+			return false
+		}
+		cur := u
+		for _, mv := range moves {
+			next := hb.Apply(mv, cur)
+			if next == cur {
+				return false
+			}
+			cur = next
+		}
+		return cur == v
+	}
+	if err := quick.Check(f, quickConfig(26)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEdgeDistance: adjacent nodes are exactly at distance 1 and
+// generators change the node (Remark 3).
+func TestQuickEdgeDistance(t *testing.T) {
+	hb := MustNew(3, 4)
+	moves := hb.Moves()
+	f := func(a uint32, g uint8) bool {
+		u := fold(hb, a)
+		mv := moves[int(g)%len(moves)]
+		w := hb.Apply(mv, u)
+		return w != u && hb.Distance(u, w) == 1 && hb.Apply(mv.Inverse(), w) == u
+	}
+	if err := quick.Check(f, quickConfig(34)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeEncode: label round trip over random nodes.
+func TestQuickDecodeEncode(t *testing.T) {
+	hb := MustNew(5, 4)
+	f := func(a uint32) bool {
+		v := fold(hb, a)
+		h, b := hb.Decode(v)
+		return hb.Encode(h, b) == v
+	}
+	if err := quick.Check(f, quickConfig(54)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEdgeConnectivityMatchesDegree: for the regular networks here the
+// edge connectivity equals the degree — a strictly stronger statement
+// than Corollary 1 for links instead of nodes.
+func TestEdgeConnectivityMatchesDegree(t *testing.T) {
+	for _, dims := range [][2]int{{0, 3}, {1, 3}, {2, 3}} {
+		hb := MustNew(dims[0], dims[1])
+		if got := graph.EdgeConnectivity(hb.Dense()); got != hb.Degree() {
+			t.Errorf("HB%v: edge connectivity %d, want %d", dims, got, hb.Degree())
+		}
+	}
+}
+
+// TestGirth: the relator (g·f⁻¹)² gives 4-cycles in the butterfly
+// factor, and the g-generator level cycle gives n-cycles, so the girth
+// of HB(m,n) is min(n, 4) — triangles exist exactly when n = 3.
+func TestGirth(t *testing.T) {
+	for _, dims := range [][2]int{{0, 3}, {2, 3}, {1, 4}, {0, 5}, {2, 4}} {
+		hb := MustNew(dims[0], dims[1])
+		want := 4
+		if dims[1] == 3 {
+			want = 3
+		}
+		if got := graph.Girth(hb); got != want {
+			t.Errorf("HB%v: girth %d, want %d", dims, got, want)
+		}
+	}
+}

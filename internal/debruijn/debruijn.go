@@ -1,0 +1,146 @@
+// Package debruijn implements the binary de Bruijn graph D_n, the
+// second factor of the hyper-deBruijn baseline HD(m,n) = H_m x D_n that
+// the paper compares against (reference [1], Ganesan & Pradhan).
+//
+// D_n has 2^n vertices labelled by n-bit words; x is adjacent to its
+// left shifts (2x+b mod 2^n) and right shifts (floor(x/2) + b·2^(n-1)).
+// As an interconnection network, self-loops (at 00…0 and 11…1) and
+// coincident shift images are dropped, which is exactly what makes D_n —
+// and hence HD(m,n) — irregular: most vertices have degree 4, but the
+// two loop vertices have degree 2 and the vertices 0101…/1010… have
+// degree 3.
+package debruijn
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Graph is the binary de Bruijn graph D_n.
+type Graph struct {
+	n    int
+	mask uint64
+}
+
+// New returns D_n for 2 <= n <= 30.
+func New(n int) (*Graph, error) {
+	if n < 2 || n > 30 {
+		return nil, fmt.Errorf("debruijn: dimension %d out of range [2,30]", n)
+	}
+	return &Graph{n: n, mask: bitvec.Mask(n)}, nil
+}
+
+// MustNew is New for known-good dimensions; it panics on error.
+func MustNew(n int) *Graph {
+	g, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Dim returns n.
+func (g *Graph) Dim() int { return g.n }
+
+// Order returns 2^n.
+func (g *Graph) Order() int { return 1 << uint(g.n) }
+
+// DiameterFormula returns n, the diameter of D_n.
+func (g *Graph) DiameterFormula() int { return g.n }
+
+// ConnectivityFormula returns 2: removing the two neighbors of a
+// degree-2 loop vertex disconnects it, and D_n is known to be
+// 2-connected.
+func (g *Graph) ConnectivityFormula() int { return 2 }
+
+// rawNeighbors lists the four shift images of v, which may repeat or
+// equal v itself.
+func (g *Graph) rawNeighbors(v int) [4]int {
+	x := uint64(v)
+	return [4]int{
+		int((x << 1) & g.mask),     // append 0
+		int((x<<1 | 1) & g.mask),   // append 1
+		int(x >> 1),                // prepend 0
+		int(x>>1 | 1<<uint(g.n-1)), // prepend 1
+	}
+}
+
+// AppendNeighbors implements graph.Graph, emitting the simple-graph
+// neighborhood: self-loops dropped and coincident shift images deduped.
+func (g *Graph) AppendNeighbors(v int, buf []int) []int {
+	raw := g.rawNeighbors(v)
+	start := len(buf)
+outer:
+	for _, w := range raw {
+		if w == v {
+			continue
+		}
+		for _, prev := range buf[start:] {
+			if prev == w {
+				continue outer
+			}
+		}
+		buf = append(buf, w)
+	}
+	return buf
+}
+
+// VertexLabel renders v as its n-bit word.
+func (g *Graph) VertexLabel(v int) string { return bitvec.String(uint64(v), g.n) }
+
+// overlapLeft returns the smallest k such that v is reachable from u by
+// k left shifts: the low n-k bits of u must equal the high n-k bits of v.
+func (g *Graph) overlapLeft(u, v int) int {
+	for k := 0; k <= g.n; k++ {
+		if uint64(u)&bitvec.Mask(g.n-k) == uint64(v)>>uint(k) {
+			return k
+		}
+	}
+	return g.n
+}
+
+// overlapRight is the mirror: smallest k such that v is reachable from u
+// by k right shifts.
+func (g *Graph) overlapRight(u, v int) int {
+	for k := 0; k <= g.n; k++ {
+		if uint64(u)>>uint(k) == uint64(v)&bitvec.Mask(g.n-k) {
+			return k
+		}
+	}
+	return g.n
+}
+
+// Route returns a u-v walk of length at most n using shifts in a single
+// direction, choosing the direction with the larger label overlap. This
+// is the standard de Bruijn routing; it is not always a shortest path
+// (optimal de Bruijn routing is NP-hard in general formulations and the
+// paper cites HD routing as "relatively complex"), but it is within the
+// n-step bound that gives HD its m+n diameter.
+func (g *Graph) Route(u, v int) []int {
+	kl := g.overlapLeft(u, v)
+	kr := g.overlapRight(u, v)
+	path := []int{u}
+	cur := uint64(u)
+	step := func(next uint64) {
+		if next != cur { // shifting 00…0 or 11…1 onto itself is a no-op
+			cur = next
+			path = append(path, int(cur))
+		}
+	}
+	if kl <= kr {
+		for i := kl - 1; i >= 0; i-- {
+			b := (uint64(v) >> uint(i)) & 1
+			step((cur<<1 | b) & g.mask)
+		}
+	} else {
+		for i := kr - 1; i >= 0; i-- {
+			b := (uint64(v) >> uint(g.n-1-i)) & 1
+			step(cur>>1 | b<<uint(g.n-1))
+		}
+	}
+	return path
+}
+
+// RouteLengthBound returns n, the worst-case length of Route.
+func (g *Graph) RouteLengthBound() int { return g.n }

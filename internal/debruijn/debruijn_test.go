@@ -1,0 +1,136 @@
+package debruijn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestNewBounds(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("accepted n = 1")
+	}
+	if _, err := New(31); err == nil {
+		t.Error("accepted n = 31")
+	}
+}
+
+func TestStructureDegenerate(t *testing.T) {
+	// D_2 is degenerate: 01 and 10 are each other's images under several
+	// shifts at once, so the maximum simple degree drops to 3.
+	g := MustNew(2)
+	if err := graph.CheckUndirected(g); err != nil {
+		t.Fatal(err)
+	}
+	st := graph.Degrees(g)
+	if st.Max != 3 || st.Min != 2 {
+		t.Fatalf("D_2 degrees: %+v", st)
+	}
+}
+
+func TestStructure(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		g := MustNew(n)
+		if g.Order() != 1<<uint(n) {
+			t.Fatalf("n=%d: order %d", n, g.Order())
+		}
+		if err := graph.CheckUndirected(g); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		st := graph.Degrees(g)
+		if st.Max != 4 {
+			t.Fatalf("n=%d: max degree %d", n, st.Max)
+		}
+		if st.Min != 2 {
+			t.Fatalf("n=%d: min degree %d (loop vertices should drop to 2)", n, st.Min)
+		}
+		if st.Regular {
+			t.Fatalf("n=%d: de Bruijn should be irregular", n)
+		}
+		// The two loop vertices have degree 2.
+		if st.Histogram[2] != 2 {
+			t.Fatalf("n=%d: degree-2 count %d, want 2", n, st.Histogram[2])
+		}
+	}
+}
+
+func TestDiameterMatchesFormula(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		g := MustNew(n)
+		if got := graph.Diameter(graph.Build(g)); got != n {
+			t.Fatalf("n=%d: diameter %d, want %d", n, got, n)
+		}
+	}
+}
+
+func TestConnectivityIsTwo(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		g := MustNew(n)
+		if got := graph.Connectivity(graph.Build(g)); got != 2 {
+			t.Fatalf("n=%d: connectivity %d, want 2", n, got)
+		}
+	}
+}
+
+// TestRouteValid checks that Route produces a genuine walk to the right
+// destination within the n-step bound, and that it never beats BFS.
+func TestRouteValid(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		g := MustNew(n)
+		d := graph.Build(g)
+		for u := 0; u < g.Order(); u++ {
+			dist := graph.BFS(d, u, nil)
+			for v := 0; v < g.Order(); v++ {
+				p := g.Route(u, v)
+				if p[0] != u || p[len(p)-1] != v {
+					t.Fatalf("n=%d: route %d->%d endpoints %v", n, u, v, p)
+				}
+				if len(p)-1 > g.RouteLengthBound() {
+					t.Fatalf("n=%d: route %d->%d too long: %d", n, u, v, len(p)-1)
+				}
+				if len(p)-1 < int(dist[v]) {
+					t.Fatalf("n=%d: route %d->%d shorter than BFS?!", n, u, v)
+				}
+				for i := 1; i < len(p); i++ {
+					if !d.HasEdge(p[i-1], p[i]) {
+						t.Fatalf("n=%d: route %d->%d uses non-edge %d-%d", n, u, v, p[i-1], p[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRouteRandomLarge(t *testing.T) {
+	g := MustNew(16)
+	rng := rand.New(rand.NewSource(16))
+	var buf []int
+	for trial := 0; trial < 5000; trial++ {
+		u, v := rng.Intn(g.Order()), rng.Intn(g.Order())
+		p := g.Route(u, v)
+		if p[0] != u || p[len(p)-1] != v || len(p)-1 > 16 {
+			t.Fatalf("route %d->%d = %v", u, v, p)
+		}
+		for i := 1; i < len(p); i++ {
+			buf = g.AppendNeighbors(p[i-1], buf[:0])
+			ok := false
+			for _, w := range buf {
+				if w == p[i] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("non-edge %d-%d", p[i-1], p[i])
+			}
+		}
+	}
+}
+
+func TestVertexLabel(t *testing.T) {
+	g := MustNew(4)
+	if got := g.VertexLabel(5); got != "0101" {
+		t.Errorf("label = %q", got)
+	}
+}

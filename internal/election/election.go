@@ -1,0 +1,175 @@
+// Package election implements synchronous leader election on
+// hyper-butterfly networks — the direction the authors pursued next
+// ("Leader Election in Hyper-Butterfly Graphs", Shi & Srimani): every
+// node holds a unique comparable identifier, knows only its own ports,
+// and the nodes must agree on the node with the largest identifier.
+//
+// Two protocols are provided, both exact and measured in rounds and
+// messages:
+//
+//   - FloodMax: the classical baseline. Every node repeatedly sends the
+//     largest identifier it has seen to all neighbors; after diameter
+//     rounds all nodes know the global maximum. O(diam) rounds,
+//     O(diam·|E|) messages in the worst case (here messages are only
+//     sent when a node's best changes, so the practical count is far
+//     lower).
+//
+//   - TreeElect: convergecast + broadcast along a BFS spanning tree of
+//     the structured broadcast: leaves report their maxima inward, the
+//     root learns the winner, then the result is broadcast back.
+//     2·eccentricity rounds and exactly 2(N-1) messages — the
+//     message-optimal pattern the topology's logarithmic diameter makes
+//     fast.
+package election
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Result summarises an election.
+type Result struct {
+	Leader   int // vertex id of the elected leader
+	Rounds   int
+	Messages int
+}
+
+// FloodMax elects the node with the largest identifier by flooding.
+// ids[v] is v's identifier; identifiers must be distinct.
+func FloodMax(g graph.Graph, ids []int64) (Result, error) {
+	n := g.Order()
+	if len(ids) != n {
+		return Result{}, fmt.Errorf("election: %d ids for %d nodes", len(ids), n)
+	}
+	if err := checkDistinct(ids); err != nil {
+		return Result{}, err
+	}
+	best := make([]int64, n)
+	owner := make([]int, n) // vertex whose id is best[v]
+	changed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		best[v] = ids[v]
+		owner[v] = v
+		changed[v] = true
+	}
+	res := Result{}
+	var buf []int
+	for round := 1; ; round++ {
+		type update struct {
+			to    int
+			id    int64
+			owner int
+		}
+		var updates []update
+		any := false
+		for v := 0; v < n; v++ {
+			if !changed[v] {
+				continue
+			}
+			any = true
+			buf = g.AppendNeighbors(v, buf[:0])
+			for _, w := range buf {
+				res.Messages++
+				updates = append(updates, update{w, best[v], owner[v]})
+			}
+		}
+		if !any {
+			break
+		}
+		res.Rounds = round
+		for v := range changed {
+			changed[v] = false
+		}
+		for _, u := range updates {
+			if u.id > best[u.to] {
+				best[u.to] = u.id
+				owner[u.to] = u.owner
+				changed[u.to] = true
+			}
+		}
+	}
+	// The final round carries no new information; report the round at
+	// which the last node actually learned the leader.
+	res.Rounds--
+	for v := 1; v < n; v++ {
+		if best[v] != best[0] {
+			return Result{}, fmt.Errorf("election: flooding did not converge (disconnected graph?)")
+		}
+	}
+	res.Leader = owner[0]
+	return res, nil
+}
+
+// TreeElect elects via convergecast + broadcast on the BFS tree rooted
+// at root. Rounds = 2 · (tree depth); messages = 2(N-1).
+func TreeElect(g graph.Graph, ids []int64, root int) (Result, error) {
+	n := g.Order()
+	if len(ids) != n {
+		return Result{}, fmt.Errorf("election: %d ids for %d nodes", len(ids), n)
+	}
+	if err := checkDistinct(ids); err != nil {
+		return Result{}, err
+	}
+	// Build the BFS tree (parents and depth-ordered traversal).
+	parent := make([]int32, n)
+	depth := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[root] = int32(root)
+	order := []int32{int32(root)}
+	var buf []int
+	maxDepth := int32(0)
+	for head := 0; head < len(order); head++ {
+		v := int(order[head])
+		buf = g.AppendNeighbors(v, buf[:0])
+		for _, w := range buf {
+			if parent[w] == -1 {
+				parent[w] = int32(v)
+				depth[w] = depth[v] + 1
+				if depth[w] > maxDepth {
+					maxDepth = depth[w]
+				}
+				order = append(order, int32(w))
+			}
+		}
+	}
+	if len(order) != n {
+		return Result{}, fmt.Errorf("election: BFS tree reaches %d of %d nodes", len(order), n)
+	}
+	// Convergecast: process vertices deepest-first; each sends its
+	// subtree maximum to its parent (one message per non-root vertex).
+	bestID := make([]int64, n)
+	bestOwner := make([]int, n)
+	for v := 0; v < n; v++ {
+		bestID[v] = ids[v]
+		bestOwner[v] = v
+	}
+	res := Result{}
+	for i := len(order) - 1; i > 0; i-- {
+		v := int(order[i])
+		p := int(parent[v])
+		res.Messages++
+		if bestID[v] > bestID[p] {
+			bestID[p] = bestID[v]
+			bestOwner[p] = bestOwner[v]
+		}
+	}
+	// Broadcast the winner back down: one message per non-root vertex.
+	res.Messages += n - 1
+	res.Rounds = 2 * int(maxDepth)
+	res.Leader = bestOwner[root]
+	return res, nil
+}
+
+func checkDistinct(ids []int64) error {
+	seen := make(map[int64]int, len(ids))
+	for v, id := range ids {
+		if prev, dup := seen[id]; dup {
+			return fmt.Errorf("election: nodes %d and %d share identifier %d", prev, v, id)
+		}
+		seen[id] = v
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package election
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func randomIDs(n int, seed int64) ([]int64, int) {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]int64, n)
+	perm := rng.Perm(n)
+	for v := 0; v < n; v++ {
+		ids[v] = int64(perm[v])
+	}
+	leader := 0
+	for v, id := range ids {
+		if id == int64(n-1) {
+			leader = v
+		}
+	}
+	return ids, leader
+}
+
+func TestFloodMaxElectsMaximum(t *testing.T) {
+	for _, dims := range [][2]int{{1, 3}, {2, 3}, {2, 4}} {
+		hb := core.MustNew(dims[0], dims[1])
+		ids, want := randomIDs(hb.Order(), int64(dims[0]*7+dims[1]))
+		res, err := FloodMax(hb, ids)
+		if err != nil {
+			t.Fatalf("HB%v: %v", dims, err)
+		}
+		if res.Leader != want {
+			t.Fatalf("HB%v: leader %d, want %d", dims, res.Leader, want)
+		}
+		// Information can travel at most one hop per round, so rounds
+		// are at least the leader's eccentricity and never exceed the
+		// diameter.
+		ecc, _ := graph.Eccentricity(hb, want)
+		if res.Rounds < ecc || res.Rounds > hb.DiameterFormula() {
+			t.Fatalf("HB%v: rounds %d outside [%d, %d]", dims, res.Rounds, ecc, hb.DiameterFormula())
+		}
+		if res.Messages == 0 {
+			t.Fatalf("HB%v: no messages", dims)
+		}
+	}
+}
+
+func TestTreeElect(t *testing.T) {
+	for _, dims := range [][2]int{{1, 3}, {2, 4}} {
+		hb := core.MustNew(dims[0], dims[1])
+		ids, want := randomIDs(hb.Order(), 99)
+		for _, root := range []int{0, hb.Order() / 2} {
+			res, err := TreeElect(hb, ids, root)
+			if err != nil {
+				t.Fatalf("HB%v root %d: %v", dims, root, err)
+			}
+			if res.Leader != want {
+				t.Fatalf("HB%v root %d: leader %d, want %d", dims, root, res.Leader, want)
+			}
+			if res.Messages != 2*(hb.Order()-1) {
+				t.Fatalf("HB%v: messages %d, want %d", dims, res.Messages, 2*(hb.Order()-1))
+			}
+			ecc, _ := graph.Eccentricity(hb, root)
+			if res.Rounds != 2*ecc {
+				t.Fatalf("HB%v: rounds %d, want %d", dims, res.Rounds, 2*ecc)
+			}
+		}
+	}
+}
+
+// TestTreeElectBeatsFloodMaxOnMessages quantifies the tradeoff the
+// follow-up paper optimises.
+func TestTreeElectBeatsFloodMaxOnMessages(t *testing.T) {
+	hb := core.MustNew(2, 4)
+	ids, _ := randomIDs(hb.Order(), 5)
+	flood, err := FloodMax(hb, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := TreeElect(hb, ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Messages >= flood.Messages {
+		t.Fatalf("tree %d messages not below flooding %d", tree.Messages, flood.Messages)
+	}
+	if flood.Leader != tree.Leader {
+		t.Fatal("protocols disagree on the leader")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	if _, err := FloodMax(hb, make([]int64, 3)); err == nil {
+		t.Error("accepted short id slice")
+	}
+	dup := make([]int64, hb.Order())
+	if _, err := FloodMax(hb, dup); err == nil {
+		t.Error("accepted duplicate ids")
+	}
+	if _, err := TreeElect(hb, dup, 0); err == nil {
+		t.Error("TreeElect accepted duplicate ids")
+	}
+	if _, err := TreeElect(hb, make([]int64, 1), 0); err == nil {
+		t.Error("TreeElect accepted short id slice")
+	}
+	// Disconnected graph: flooding must report failure.
+	disc := graph.NewDense(4, [][2]int{{0, 1}, {2, 3}})
+	if _, err := FloodMax(disc, []int64{3, 1, 2, 0}); err == nil {
+		t.Error("FloodMax accepted a disconnected graph")
+	}
+	if _, err := TreeElect(disc, []int64{3, 1, 2, 0}, 0); err == nil {
+		t.Error("TreeElect accepted a disconnected graph")
+	}
+}

@@ -1,0 +1,76 @@
+package embed
+
+import "fmt"
+
+// CubeTree returns an embedding of the complete binary tree T(k)
+// (2^k - 1 vertices, heap order) into the hypercube H_{k+1}: the
+// returned slice maps tree vertex -> (k+1)-bit hypercube label. This is
+// the hypercube half of Theorem 4's mesh-of-trees embedding; the p <=
+// m-2 bound there is exactly "T(p+1) needs H_{p+3-1}".
+//
+// Construction (derived; verified exhaustively in tests). Strengthened
+// invariant Q(k): H_{k+1} contains T(k) rooted at r together with a free
+// handle path h ~ r, h2 ~ h (h, h2 unused).
+//
+//	Q(1): T(1) = {00}, h = 01, h2 = 11 in H_2.
+//	Q(k+1): split H_{k+2} on its top bit. Place a Q(k) instance in
+//	half 0 (root rL, handle hL, hL2). Re-embed a second Q(k) instance
+//	into half 1 by the automorphism x -> pi(x xor rR) xor hL, where pi
+//	transposes the bit of hR xor rR with the bit of hL2 xor hL; this
+//	puts the second root at cross(hL) and its (free) handle at
+//	cross(hL2). The new root is hL with children rL and cross(hL); the
+//	new handle path is hL2, cross(hL2) — both still free.
+func CubeTree(k int) ([]uint64, error) {
+	if k < 1 || k > 26 {
+		return nil, fmt.Errorf("embed: CubeTree levels %d out of range [1,26]", k)
+	}
+	phi, _, _ := cubeTreeRec(k)
+	return phi, nil
+}
+
+// cubeTreeRec returns (phi, handle, handle2) per invariant Q(k), with
+// labels in H_{k+1}.
+func cubeTreeRec(k int) (phi []uint64, h, h2 uint64) {
+	if k == 1 {
+		return []uint64{0}, 1, 3
+	}
+	left, hL, hL2 := cubeTreeRec(k - 1)
+	right, hR, hR2 := cubeTreeRec(k - 1)
+	_ = hR2
+	top := uint64(1) << uint(k)
+	rR := right[0]
+	di := hR ^ rR  // single bit: handle direction of the right instance
+	dj := hL2 ^ hL // single bit: where the right handle must land
+	psi := func(x uint64) uint64 {
+		x ^= rR
+		// Transpose bits di and dj.
+		if (x&di != 0) != (x&dj != 0) {
+			x ^= di | dj
+		}
+		return x ^ hL | top
+	}
+	size := 2*len(left) + 1
+	phi = make([]uint64, size)
+	phi[0] = hL
+	placeSubtree(phi, 1, left)
+	rightImg := make([]uint64, len(right))
+	for i, x := range right {
+		rightImg[i] = psi(x)
+	}
+	placeSubtree(phi, 2, rightImg)
+	return phi, hL2, hL2 | top
+}
+
+// placeSubtree copies a heap-ordered tree embedding src into dst as the
+// subtree rooted at heap index root.
+func placeSubtree(dst []uint64, root int, src []uint64) {
+	var rec func(si, di int)
+	rec = func(si, di int) {
+		dst[di] = src[si]
+		if 2*si+1 < len(src) {
+			rec(2*si+1, 2*di+1)
+			rec(2*si+2, 2*di+2)
+		}
+	}
+	rec(0, root)
+}

@@ -1,0 +1,203 @@
+package embed
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// BfCycleKind selects which of the constructive butterfly cycles forms
+// the second side of a torus embedding.
+type BfCycleKind int
+
+const (
+	// BfLevel is the n-cycle traced by the g generator.
+	BfLevel BfCycleKind = iota
+	// BfDoubleLevel is the 2n-cycle traced by the f generator.
+	BfDoubleLevel
+	// BfHamiltonian is the full n·2^n-cycle.
+	BfHamiltonian
+)
+
+// bfCycle materialises the chosen butterfly cycle.
+func bfCycle(hb *core.HyperButterfly, kind BfCycleKind) ([]int, error) {
+	bf := hb.Butterfly()
+	switch kind {
+	case BfLevel:
+		return bf.LevelCycle(0), nil
+	case BfDoubleLevel:
+		return bf.DoubleLevelCycle(0), nil
+	case BfHamiltonian:
+		return bf.HamiltonianCycle(), nil
+	default:
+		return nil, fmt.Errorf("embed: unknown butterfly cycle kind %d", kind)
+	}
+}
+
+// Torus embeds the wrap-around mesh M(n1, n2) into HB(m,n) (the
+// "2-dimensional Mesh: Yes" row of Figures 1 and 2): C(n1) is a cycle of
+// the hypercube factor (even n1, 4 <= n1 <= 2^m) and C(n2) one of the
+// constructive butterfly cycles. It returns the guest torus and the
+// vertex map, ready for graph.VerifyEmbedding.
+func Torus(hb *core.HyperButterfly, n1 int, kind BfCycleKind) (graph.Torus, []int, error) {
+	cubeCycle, err := hb.Cube().EvenCycle(n1)
+	if err != nil {
+		return graph.Torus{}, nil, fmt.Errorf("embed: torus first side: %w", err)
+	}
+	side2, err := bfCycle(hb, kind)
+	if err != nil {
+		return graph.Torus{}, nil, err
+	}
+	if len(side2) < 3 {
+		return graph.Torus{}, nil, fmt.Errorf("embed: butterfly cycle too short (%d)", len(side2))
+	}
+	t := graph.Torus{N1: n1, N2: len(side2)}
+	phi := make([]int, t.Order())
+	for i := 0; i < n1; i++ {
+		for j := 0; j < t.N2; j++ {
+			phi[t.Encode(i, j)] = hb.Encode(cubeCycle[i], side2[j])
+		}
+	}
+	return t, phi, nil
+}
+
+// TorusKN embeds the wrap-around mesh M(n1, k·n) into HB(m,n) for any
+// even n1 in [4, 2^m] and any lap count k in [1, 2^n], using the
+// general kn-cycle family of Remark 9 for the butterfly side. This
+// parameterises the paper's "2-dimensional mesh" row over its full
+// constructive range.
+func TorusKN(hb *core.HyperButterfly, n1, k int) (graph.Torus, []int, error) {
+	cubeCycle, err := hb.Cube().EvenCycle(n1)
+	if err != nil {
+		return graph.Torus{}, nil, fmt.Errorf("embed: torus first side: %w", err)
+	}
+	side2, err := hb.Butterfly().CycleKN(k)
+	if err != nil {
+		return graph.Torus{}, nil, fmt.Errorf("embed: torus second side: %w", err)
+	}
+	if len(side2) < 3 {
+		return graph.Torus{}, nil, fmt.Errorf("embed: butterfly cycle too short (%d)", len(side2))
+	}
+	t := graph.Torus{N1: n1, N2: len(side2)}
+	phi := make([]int, t.Order())
+	for i := 0; i < n1; i++ {
+		for j := 0; j < t.N2; j++ {
+			phi[t.Encode(i, j)] = hb.Encode(cubeCycle[i], side2[j])
+		}
+	}
+	return t, phi, nil
+}
+
+// EvenCycle returns a simple cycle of even length k through HB(m,n), for
+// 4 <= k <= n·2^(m+n) (Lemma 2). Requires m >= 1 (for m = 0 use the
+// butterfly's own cycle constructions).
+//
+// The cycle is drawn inside the 2^m x n·2^n grid spanned by the Gray
+// cycle of H_m and the Hamiltonian cycle of B_n: grid rows/columns are
+// hypercube/butterfly edges, so any grid cycle is an HB cycle.
+func EvenCycle(hb *core.HyperButterfly, k int) ([]int, error) {
+	if hb.M() < 1 {
+		return nil, fmt.Errorf("embed: EvenCycle requires m >= 1, got m = %d", hb.M())
+	}
+	a := 1 << uint(hb.M())
+	rows := bitvec.GrayCycle(hb.M())
+	cols := hb.Butterfly().HamiltonianCycle()
+	cells, err := GridCycle(a, len(cols), k)
+	if err != nil {
+		return nil, err
+	}
+	cycle := make([]int, len(cells))
+	for i, rc := range cells {
+		cycle[i] = hb.Encode(int(rows[rc[0]]), cols[rc[1]])
+	}
+	return cycle, nil
+}
+
+// BinaryTree embeds the complete binary tree T(m+n-1) into HB(m,n)
+// (Figure 1's "Binary Tree" row). It returns the number of tree levels
+// and the heap-ordered vertex map.
+//
+// For m >= 2 the top T(m-1) lives in the sub-hypercube (H_m, identity)
+// via CubeTree, and each of its 2^(m-2) leaves roots a copy of the
+// butterfly tree T(n+1) inside its own sub-butterfly; the butterfly tree
+// is rooted at the identity, which is exactly the butterfly label shared
+// by the whole top tree, so leaf and root coincide and the levels total
+// (m-1) + (n+1) - 1 = m+n-1. For m <= 1 the tree is the top m+n-1
+// levels of the butterfly tree inside a single sub-butterfly.
+func BinaryTree(hb *core.HyperButterfly) (int, []int, error) {
+	m, n := hb.M(), hb.N()
+	levels := m + n - 1
+	bf := hb.Butterfly()
+	bfTree := bf.TreeEmbedding() // T(n+1) rooted at the identity
+	if m <= 1 {
+		// Top `levels` levels of T(n+1); levels = n-1 or n, both <= n+1.
+		phi := make([]int, 1<<uint(levels)-1)
+		for i := range phi {
+			phi[i] = hb.Encode(0, bfTree[i])
+		}
+		return levels, phi, nil
+	}
+	topPhi, err := CubeTree(m - 1) // T(m-1) in H_m
+	if err != nil {
+		return 0, nil, err
+	}
+	phi := make([]int, 1<<uint(levels)-1)
+	topLevels := m - 1
+	var place func(ti, di, depth int)
+	place = func(ti, di, depth int) {
+		h := int(topPhi[ti])
+		phi[di] = hb.Encode(h, bf.Identity())
+		if depth == topLevels-1 {
+			// Leaf of the top tree: graft T(n+1) minus its root into the
+			// sub-butterfly (h, B_n). bfTree[0] is the identity = this node.
+			graftButterflySubtree(hb, phi, bfTree, h, 1, 2*di+1)
+			graftButterflySubtree(hb, phi, bfTree, h, 2, 2*di+2)
+			return
+		}
+		place(2*ti+1, 2*di+1, depth+1)
+		place(2*ti+2, 2*di+2, depth+1)
+	}
+	place(0, 0, 0)
+	return levels, phi, nil
+}
+
+// graftButterflySubtree copies the subtree of the butterfly tree rooted
+// at heap index si into phi at heap index di, inside sub-butterfly h.
+func graftButterflySubtree(hb *core.HyperButterfly, phi []int, bfTree []int, h, si, di int) {
+	phi[di] = hb.Encode(h, bfTree[si])
+	if 2*si+1 < len(bfTree) {
+		graftButterflySubtree(hb, phi, bfTree, h, 2*si+1, 2*di+1)
+		graftButterflySubtree(hb, phi, bfTree, h, 2*si+2, 2*di+2)
+	}
+}
+
+// MeshOfTrees embeds MT(2^p, 2^q) into HB(m,n) for 1 <= p <= m-2 and
+// 1 <= q <= n (Theorem 4), via Lemma 4: MT(2^p,2^q) is a subgraph of
+// T(p+1) x T(q+1), whose factors embed into H_m (CubeTree) and B_n
+// (top q+1 levels of the Lemma 3 tree). The returned map covers the
+// ambient product indexing used by graph.MeshOfTrees.
+func MeshOfTrees(hb *core.HyperButterfly, p, q int) (graph.MeshOfTrees, []int, error) {
+	m, n := hb.M(), hb.N()
+	if p < 1 || p > m-2 {
+		return graph.MeshOfTrees{}, nil, fmt.Errorf("embed: p = %d out of range [1, m-2] for m = %d (Theorem 4)", p, m)
+	}
+	if q < 1 || q > n {
+		return graph.MeshOfTrees{}, nil, fmt.Errorf("embed: q = %d out of range [1, n] for n = %d (Theorem 4)", q, n)
+	}
+	rowTree, err := CubeTree(p + 1) // T(p+1) in H_{p+2} subset of H_m
+	if err != nil {
+		return graph.MeshOfTrees{}, nil, err
+	}
+	bfTree := hb.Butterfly().TreeEmbedding() // T(n+1); top q+1 levels form T(q+1)
+	colSize := 1<<uint(q+1) - 1
+	mt := graph.MeshOfTrees{P: p, Q: q}
+	phi := make([]int, mt.Order())
+	for i := 0; i < len(rowTree); i++ {
+		for j := 0; j < colSize; j++ {
+			phi[mt.Encode(i, j)] = hb.Encode(int(rowTree[i]), bfTree[j])
+		}
+	}
+	return mt, phi, nil
+}

@@ -1,0 +1,43 @@
+package embed
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzGridCycle checks that every accepted (a, b, k) yields a verified
+// simple cycle and every rejection is for a documented reason.
+func FuzzGridCycle(f *testing.F) {
+	f.Add(4, 5, 10)
+	f.Add(2, 2, 4)
+	f.Add(6, 3, 18)
+	f.Fuzz(func(t *testing.T, a, b, k int) {
+		if a < 0 || b < 0 || k < 0 || a > 64 || b > 64 || k > 4096 {
+			t.Skip()
+		}
+		cells, err := GridCycle(a, b, k)
+		if err != nil {
+			valid := a >= 2 && b >= 2 && k%2 == 0 && k >= 4 && k <= a*b &&
+				(a%2 == 0 || k <= 2*a)
+			if valid {
+				t.Fatalf("GridCycle(%d,%d,%d) rejected a valid request: %v", a, b, k, err)
+			}
+			return
+		}
+		if len(cells) != k {
+			t.Fatalf("GridCycle(%d,%d,%d): length %d", a, b, k, len(cells))
+		}
+		g := gridGraph{a, b}
+		ids := make([]int, k)
+		for i, rc := range cells {
+			if rc[0] < 0 || rc[0] >= a || rc[1] < 0 || rc[1] >= b {
+				t.Fatalf("cell %v out of %dx%d grid", rc, a, b)
+			}
+			ids[i] = rc[0]*b + rc[1]
+		}
+		if err := graph.VerifyCycle(g, ids); err != nil {
+			t.Fatalf("GridCycle(%d,%d,%d): %v", a, b, k, err)
+		}
+	})
+}

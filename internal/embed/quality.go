@@ -1,0 +1,72 @@
+package embed
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Quality summarises how faithfully an embedding lets the host emulate
+// the guest — the quantities behind the paper's "ability to emulate
+// most of existing architectures": dilation bounds the slowdown of one
+// guest step, congestion bounds the link contention when all guest
+// edges are active at once, and expansion is the wasted host capacity.
+type Quality struct {
+	// Dilation is the maximum host distance between the images of
+	// adjacent guest vertices (1 for a subgraph embedding).
+	Dilation int
+	// AvgDilation averages the same quantity over guest edges.
+	AvgDilation float64
+	// Congestion is the maximum number of guest edges whose routed
+	// images share one host edge.
+	Congestion int
+	// Expansion is host order / guest order.
+	Expansion float64
+}
+
+// MeasureQuality computes the quality of phi: guest -> host, where the
+// host's metric is supplied as distance and routing functions (every
+// topology in this repository exposes both). Guest vertices with no
+// incident edges contribute nothing.
+func MeasureQuality(guest graph.Graph, hostOrder int, phi []int,
+	dist func(u, v int) int, route func(u, v int) []int) (Quality, error) {
+	if len(phi) != guest.Order() {
+		return Quality{}, fmt.Errorf("embed: map covers %d vertices, guest has %d", len(phi), guest.Order())
+	}
+	q := Quality{Expansion: float64(hostOrder) / float64(guest.Order())}
+	load := make(map[[2]int]int)
+	edges := 0
+	sum := 0
+	var buf []int
+	for v := 0; v < guest.Order(); v++ {
+		buf = guest.AppendNeighbors(v, buf[:0])
+		for _, w := range buf {
+			if w <= v { // each undirected guest edge once
+				continue
+			}
+			edges++
+			d := dist(phi[v], phi[w])
+			sum += d
+			if d > q.Dilation {
+				q.Dilation = d
+			}
+			p := route(phi[v], phi[w])
+			for i := 1; i < len(p); i++ {
+				a, b := p[i-1], p[i]
+				if a > b {
+					a, b = b, a
+				}
+				load[[2]int{a, b}]++
+			}
+		}
+	}
+	for _, l := range load {
+		if l > q.Congestion {
+			q.Congestion = l
+		}
+	}
+	if edges > 0 {
+		q.AvgDilation = float64(sum) / float64(edges)
+	}
+	return q, nil
+}

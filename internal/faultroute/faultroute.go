@@ -1,0 +1,159 @@
+// Package faultroute implements routing in HB(m,n) in the presence of
+// faulty nodes (Remark 10): because Theorem 5 guarantees m+4 internally
+// vertex-disjoint paths between any two nodes, any set of at most m+3
+// node faults (excluding the endpoints) leaves at least one of them
+// intact, so delivery can always succeed while the network is within its
+// fault-tolerance bound — the "maximal fault tolerance" the paper is
+// named for.
+package faultroute
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Router routes around a fixed set of faulty nodes.
+type Router struct {
+	hb     *core.HyperButterfly
+	faulty []bool
+	nfault int
+
+	// Stats counts which strategy satisfied each Route call; useful for
+	// the E-R10 experiment.
+	Stats struct {
+		Optimal  int // the fault-free shortest path worked unmodified
+		Greedy   int // greedy detour routing succeeded
+		Disjoint int // fell back to scanning the m+4 disjoint paths
+		BFS      int // last resort: global search (beyond m+3 faults)
+	}
+}
+
+// New returns a Router for hb with the given faulty nodes.
+func New(hb *core.HyperButterfly, faults []core.Node) (*Router, error) {
+	r := &Router{hb: hb, faulty: make([]bool, hb.Order())}
+	for _, f := range faults {
+		if f < 0 || f >= hb.Order() {
+			return nil, fmt.Errorf("faultroute: fault %d out of range [0,%d)", f, hb.Order())
+		}
+		if !r.faulty[f] {
+			r.faulty[f] = true
+			r.nfault++
+		}
+	}
+	return r, nil
+}
+
+// FaultCount returns the number of distinct faulty nodes.
+func (r *Router) FaultCount() int { return r.nfault }
+
+// Faulty reports whether v is faulty.
+func (r *Router) Faulty(v core.Node) bool { return r.faulty[v] }
+
+// WithinGuarantee reports whether the fault count is at most m+3, the
+// bound under which Theorem 5 guarantees delivery between any two
+// non-faulty nodes.
+func (r *Router) WithinGuarantee() bool { return r.nfault <= r.hb.M()+3 }
+
+// pathClear reports whether a path avoids every fault (endpoints
+// included).
+func (r *Router) pathClear(path []core.Node) bool {
+	for _, v := range path {
+		if r.faulty[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Route returns a fault-free path from u to v, trying strategies in
+// increasing order of cost:
+//
+//  1. the optimal two-phase route of Section 3, if it happens to avoid
+//     all faults;
+//  2. greedy adaptive routing (always step to a non-faulty neighbor
+//     closest to v, with a bounded misroute allowance);
+//  3. the first fault-free path among the m+4 disjoint paths of
+//     Theorem 5 — guaranteed to exist while faults <= m+3;
+//  4. plain BFS avoiding faults, for operation beyond the guarantee.
+//
+// It fails only if u or v is faulty or the faults actually disconnect
+// the pair (possible only with more than m+3 faults).
+func (r *Router) Route(u, v core.Node) ([]core.Node, error) {
+	if r.faulty[u] || r.faulty[v] {
+		return nil, fmt.Errorf("faultroute: endpoint faulty (u=%v, v=%v)", r.faulty[u], r.faulty[v])
+	}
+	if u == v {
+		return []core.Node{u}, nil
+	}
+	if p := r.hb.Route(u, v); r.pathClear(p) {
+		r.Stats.Optimal++
+		return p, nil
+	}
+	if p, ok := r.greedy(u, v); ok {
+		r.Stats.Greedy++
+		return p, nil
+	}
+	if paths, err := r.hb.DisjointPaths(u, v); err == nil {
+		for _, p := range paths {
+			if r.pathClear(p) {
+				r.Stats.Disjoint++
+				return p, nil
+			}
+		}
+	}
+	if p := graph.BFSPath(r.hb, u, v, r.faulty); p != nil {
+		r.Stats.BFS++
+		return p, nil
+	}
+	return nil, fmt.Errorf("faultroute: %d faults disconnect %d from %d", r.nfault, u, v)
+}
+
+// greedyBudget bounds the number of non-improving (misrouting) steps the
+// greedy strategy may take before giving up.
+const greedyBudget = 4
+
+// greedy performs adaptive hop-by-hop routing: prefer the non-faulty,
+// unvisited neighbor closest to v; allow a bounded number of
+// non-improving steps. Cheap, local, and usually sufficient for small
+// fault counts — but not guaranteed, hence the fallbacks in Route.
+func (r *Router) greedy(u, v core.Node) ([]core.Node, bool) {
+	visited := map[core.Node]bool{u: true}
+	path := []core.Node{u}
+	cur := u
+	misroutes := 0
+	var buf []int
+	for cur != v {
+		buf = r.hb.AppendNeighbors(cur, buf[:0])
+		best, bestDist := -1, -1
+		for _, w := range buf {
+			if r.faulty[w] || visited[w] {
+				continue
+			}
+			d := r.hb.Distance(w, v)
+			if best == -1 || d < bestDist {
+				best, bestDist = w, d
+			}
+		}
+		if best == -1 {
+			return nil, false // dead end
+		}
+		if bestDist >= r.hb.Distance(cur, v) {
+			misroutes++
+			if misroutes > greedyBudget {
+				return nil, false
+			}
+		}
+		visited[best] = true
+		path = append(path, best)
+		cur = best
+	}
+	return path, true
+}
+
+// Connected reports whether the fault-free part of the network is still
+// connected. With at most m+3 faults it always is (Corollary 1).
+func (r *Router) Connected() bool {
+	return graph.IsConnected(r.hb, r.faulty)
+}

@@ -1,0 +1,225 @@
+package faultroute
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// pickFaults chooses f distinct faults avoiding u and v.
+func pickFaults(rng *rand.Rand, order, f, u, v int) []int {
+	faults := make([]int, 0, f)
+	used := map[int]bool{u: true, v: true}
+	for len(faults) < f {
+		x := rng.Intn(order)
+		if used[x] {
+			continue
+		}
+		used[x] = true
+		faults = append(faults, x)
+	}
+	return faults
+}
+
+// TestRemark10GuaranteedDelivery is the core fault-tolerance experiment:
+// with up to m+3 random faults, Route must always succeed and the
+// network must stay connected.
+func TestRemark10GuaranteedDelivery(t *testing.T) {
+	for _, dims := range [][2]int{{1, 3}, {2, 3}, {3, 3}} {
+		hb := core.MustNew(dims[0], dims[1])
+		rng := rand.New(rand.NewSource(int64(dims[0]*10 + dims[1])))
+		for trial := 0; trial < 150; trial++ {
+			u, v := rng.Intn(hb.Order()), rng.Intn(hb.Order())
+			if u == v {
+				continue
+			}
+			f := 1 + rng.Intn(hb.M()+3)
+			r, err := New(hb, pickFaults(rng, hb.Order(), f, u, v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.WithinGuarantee() {
+				t.Fatalf("HB%v: %d faults should be within guarantee", dims, f)
+			}
+			if !r.Connected() {
+				t.Fatalf("HB%v: %d faults disconnected the network (violates Corollary 1)", dims, f)
+			}
+			p, err := r.Route(u, v)
+			if err != nil {
+				t.Fatalf("HB%v faults=%d: %v", dims, f, err)
+			}
+			validateFaultFreePath(t, hb, r, p, u, v)
+		}
+	}
+}
+
+func validateFaultFreePath(t *testing.T, hb *core.HyperButterfly, r *Router, p []core.Node, u, v core.Node) {
+	t.Helper()
+	if p[0] != u || p[len(p)-1] != v {
+		t.Fatalf("path endpoints %d..%d, want %d..%d", p[0], p[len(p)-1], u, v)
+	}
+	if err := graph.VerifyPath(hb, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range p {
+		if r.Faulty(x) {
+			t.Fatalf("path passes through fault %d", x)
+		}
+	}
+}
+
+// TestMaximalityOfFaultTolerance shows the bound is tight: m+4 targeted
+// faults (all neighbors of a node) disconnect the network, so m+4-1 is
+// the best possible guarantee (Corollary 1's "maximally fault
+// tolerant").
+func TestMaximalityOfFaultTolerance(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	victim := hb.Encode(1, 5)
+	faults := hb.AppendNeighbors(victim, nil)
+	if len(faults) != hb.Degree() {
+		t.Fatalf("victim degree %d", len(faults))
+	}
+	r, err := New(hb, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WithinGuarantee() {
+		t.Fatal("m+4 faults should exceed the guarantee")
+	}
+	if r.Connected() {
+		t.Fatal("surrounding a node with faults must disconnect it")
+	}
+	if _, err := r.Route(victim, hb.Identity()); err == nil {
+		t.Fatal("routing out of an isolated node must fail")
+	}
+}
+
+// TestBeyondGuaranteeBestEffort: with many random faults the router may
+// still succeed via BFS whenever the endpoints remain connected, and
+// must report failure exactly when they are not.
+func TestBeyondGuaranteeBestEffort(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		u, v := rng.Intn(hb.Order()), rng.Intn(hb.Order())
+		if u == v {
+			continue
+		}
+		faults := pickFaults(rng, hb.Order(), 10, u, v)
+		r, err := New(hb, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		excluded := make([]bool, hb.Order())
+		for _, f := range faults {
+			excluded[f] = true
+		}
+		reachable := graph.BFSPath(hb, u, v, excluded) != nil
+		p, err := r.Route(u, v)
+		if reachable && err != nil {
+			t.Fatalf("connected pair reported unreachable: %v", err)
+		}
+		if !reachable && err == nil {
+			t.Fatalf("disconnected pair reported path %v", p)
+		}
+		if err == nil {
+			validateFaultFreePath(t, hb, r, p, u, v)
+		}
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	if _, err := New(hb, []int{-1}); err == nil {
+		t.Error("accepted negative fault id")
+	}
+	if _, err := New(hb, []int{hb.Order()}); err == nil {
+		t.Error("accepted out-of-range fault id")
+	}
+	r, err := New(hb, []int{5, 5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FaultCount() != 2 {
+		t.Errorf("duplicate faults miscounted: %d", r.FaultCount())
+	}
+	if _, err := r.Route(5, 0); err == nil {
+		t.Error("accepted faulty source")
+	}
+	if _, err := r.Route(0, 7); err == nil {
+		t.Error("accepted faulty destination")
+	}
+	p, err := r.Route(3, 3)
+	if err != nil || len(p) != 1 {
+		t.Errorf("self route = %v, %v", p, err)
+	}
+}
+
+// TestStretchIsBounded: within the guarantee, the delivered path should
+// not be wildly longer than the fault-free distance; the disjoint-path
+// fallback bounds it by roughly diameter+2.
+func TestStretchIsBounded(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	rng := rand.New(rand.NewSource(7))
+	bound := hb.DiameterFormula() + hb.Degree() // generous static bound
+	for trial := 0; trial < 100; trial++ {
+		u, v := rng.Intn(hb.Order()), rng.Intn(hb.Order())
+		if u == v {
+			continue
+		}
+		r, err := New(hb, pickFaults(rng, hb.Order(), hb.M()+3, u, v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := r.Route(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p)-1 > bound {
+			t.Fatalf("path length %d exceeds bound %d", len(p)-1, bound)
+		}
+	}
+}
+
+// TestFaultDiameter measures the diameter growth under worst-case-count
+// random faults: it must stay finite (connectivity) and, empirically on
+// these instances, within diameter+2 — the bound suggested by the
+// Theorem 5 path lengths.
+func TestFaultDiameter(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	fd0, err := FaultDiameter(hb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd0 != hb.DiameterFormula() {
+		t.Fatalf("fault-free FaultDiameter %d, want %d", fd0, hb.DiameterFormula())
+	}
+	rng := rand.New(rand.NewSource(23))
+	worst := 0
+	for trial := 0; trial < 25; trial++ {
+		faults := rng.Perm(hb.Order())[:hb.M()+3]
+		fd, err := FaultDiameter(hb, faults)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if fd > worst {
+			worst = fd
+		}
+	}
+	if worst < hb.DiameterFormula() {
+		t.Fatalf("fault diameter %d below fault-free diameter", worst)
+	}
+	if worst > hb.DiameterFormula()+2 {
+		t.Fatalf("fault diameter %d exceeds diameter+2", worst)
+	}
+	if _, err := FaultDiameter(hb, []int{-1}); err == nil {
+		t.Error("accepted bad fault id")
+	}
+	// Disconnecting faults must error.
+	victim := hb.Encode(0, 0)
+	if _, err := FaultDiameter(hb, hb.AppendNeighbors(victim, nil)); err == nil {
+		t.Error("accepted disconnecting fault set")
+	}
+}

@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Unreachable is the distance reported for vertices not connected to the
+// BFS source.
+const Unreachable = int32(math.MaxInt32)
+
+// BFS computes single-source shortest-path distances from src in g.
+// Faulty vertices (excluded[v] == true) are treated as deleted; excluded
+// may be nil. The source itself must not be excluded.
+func BFS(g Graph, src int, excluded []bool) []int32 {
+	n := g.Order()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if excluded != nil && excluded[src] {
+		panic(fmt.Sprintf("graph: BFS source %d is excluded", src))
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(src))
+	var buf []int
+	for head := 0; head < len(queue); head++ {
+		v := int(queue[head])
+		dv := dist[v]
+		buf = g.AppendNeighbors(v, buf[:0])
+		for _, w := range buf {
+			if dist[w] != Unreachable || (excluded != nil && excluded[w]) {
+				continue
+			}
+			dist[w] = dv + 1
+			queue = append(queue, int32(w))
+		}
+	}
+	return dist
+}
+
+// BFSPath returns one shortest path from src to dst as a vertex sequence
+// including both endpoints, or nil if dst is unreachable. Faulty vertices
+// in excluded are avoided.
+func BFSPath(g Graph, src, dst int, excluded []bool) []int {
+	n := g.Order()
+	if src == dst {
+		return []int{src}
+	}
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = int32(src)
+	queue := []int32{int32(src)}
+	var buf []int
+	for head := 0; head < len(queue); head++ {
+		v := int(queue[head])
+		buf = g.AppendNeighbors(v, buf[:0])
+		for _, w := range buf {
+			if parent[w] != -1 || (excluded != nil && excluded[w]) {
+				continue
+			}
+			parent[w] = int32(v)
+			if w == dst {
+				return tracePath(parent, src, dst)
+			}
+			queue = append(queue, int32(w))
+		}
+	}
+	return nil
+}
+
+func tracePath(parent []int32, src, dst int) []int {
+	rev := []int{dst}
+	for v := dst; v != src; {
+		v = int(parent[v])
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Eccentricity returns the maximum finite BFS distance from src and
+// whether every vertex was reached.
+func Eccentricity(g Graph, src int) (ecc int, connected bool) {
+	dist := BFS(g, src, nil)
+	connected = true
+	for _, d := range dist {
+		if d == Unreachable {
+			connected = false
+			continue
+		}
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc, connected
+}
+
+// Diameter computes the exact diameter of g by running a BFS from every
+// vertex. It returns -1 for a disconnected graph. For vertex-transitive
+// graphs prefer Eccentricity from any single vertex.
+func Diameter(g Graph) int {
+	n := g.Order()
+	diam := 0
+	for v := 0; v < n; v++ {
+		ecc, conn := Eccentricity(g, v)
+		if !conn {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// IsConnected reports whether g is connected after removing the excluded
+// vertices. A graph whose non-excluded vertex set is empty is connected.
+func IsConnected(g Graph, excluded []bool) bool {
+	n := g.Order()
+	src := -1
+	remaining := 0
+	for v := 0; v < n; v++ {
+		if excluded == nil || !excluded[v] {
+			remaining++
+			if src == -1 {
+				src = v
+			}
+		}
+	}
+	if remaining <= 1 {
+		return true
+	}
+	dist := BFS(g, src, excluded)
+	reached := 0
+	for v := 0; v < n; v++ {
+		if (excluded == nil || !excluded[v]) && dist[v] != Unreachable {
+			reached++
+		}
+	}
+	return reached == remaining
+}
+
+// Components returns the connected component id of every vertex and the
+// number of components.
+func Components(g Graph) (comp []int32, count int) {
+	n := g.Order()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var buf []int
+	for v := 0; v < n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		queue := []int32{int32(v)}
+		comp[v] = id
+		for head := 0; head < len(queue); head++ {
+			u := int(queue[head])
+			buf = g.AppendNeighbors(u, buf[:0])
+			for _, w := range buf {
+				if comp[w] == -1 {
+					comp[w] = id
+					queue = append(queue, int32(w))
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// DistanceHistogram returns hist where hist[d] is the number of ordered
+// pairs (src, v) at distance d, computed by BFS from every vertex of g.
+// It returns nil for a disconnected graph.
+func DistanceHistogram(g Graph) []int64 {
+	n := g.Order()
+	var hist []int64
+	for v := 0; v < n; v++ {
+		dist := BFS(g, v, nil)
+		for _, d := range dist {
+			if d == Unreachable {
+				return nil
+			}
+			for int(d) >= len(hist) {
+				hist = append(hist, 0)
+			}
+			hist[d]++
+		}
+	}
+	return hist
+}

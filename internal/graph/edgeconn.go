@@ -1,0 +1,63 @@
+package graph
+
+// Edge connectivity complements the vertex connectivity of Section 5:
+// the paper measures node fault tolerance, but an interconnection
+// network also loses links, and for the regular networks here the edge
+// connectivity equals the degree (an even stronger statement than
+// Corollary 1's node bound). The computation is plain max-flow on the
+// directed doubling of the graph, using the same seed argument as
+// Connectivity: every minimum edge cut separates some fixed vertex from
+// at least one other vertex.
+
+// buildEdgeNet constructs a unit-capacity directed network with one arc
+// pair per undirected edge.
+func buildEdgeNet(d *Dense) *flowNet {
+	n := d.Order()
+	f := newFlowNet(n)
+	for v := 0; v < n; v++ {
+		prev := int32(-1)
+		for _, w := range d.Neighbors(v) {
+			if w == prev || int(w) == v || int(w) < v {
+				prev = w
+				continue
+			}
+			prev = w
+			// One capacity-1 arc in each direction, added as two
+			// independent arcs so either direction can carry flow.
+			f.addArc(v, int(w), 1)
+			f.addArc(int(w), v, 1)
+		}
+	}
+	return f
+}
+
+// LocalEdgeConnectivity returns the maximum number of edge-disjoint
+// paths between distinct vertices s and t.
+func LocalEdgeConnectivity(d *Dense, s, t int) int {
+	if s == t {
+		panic("graph: LocalEdgeConnectivity of a vertex with itself")
+	}
+	f := buildEdgeNet(d)
+	return f.maxFlow(s, t, -1)
+}
+
+// EdgeConnectivity computes the edge connectivity of d exactly: the
+// minimum of LocalEdgeConnectivity(0, v) over all other vertices v
+// (every edge cut separates vertex 0 from something).
+func EdgeConnectivity(d *Dense) int {
+	n := d.Order()
+	if n <= 1 {
+		return 0
+	}
+	if !IsConnected(d, nil) {
+		return 0
+	}
+	best := -1
+	for v := 1; v < n; v++ {
+		c := LocalEdgeConnectivity(d, 0, v)
+		if best == -1 || c < best {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,148 @@
+package graph
+
+import "fmt"
+
+// NodeToSetDisjointPaths returns paths from src to every target in
+// targets that are pairwise vertex-disjoint except at src (the
+// "node-to-set" disjoint path problem of the companion literature the
+// paper cites — Latifi, Ko & Srimani for hypercubes). Such path sets
+// exist whenever len(targets) <= kappa(G) by Menger's theorem
+// (fan lemma); HB(m,n) therefore supports fans of size m+4.
+//
+// Implementation: unit-capacity max-flow on the node-split graph with a
+// super-sink attached to every target (targets keep capacity 1 so each
+// is the endpoint of exactly one path). Returns an error if some target
+// cannot be reached disjointly.
+func NodeToSetDisjointPaths(d *Dense, src int, targets []int) ([][]int, error) {
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	n := d.Order()
+	isTarget := make(map[int]bool, len(targets))
+	for _, t := range targets {
+		if t < 0 || t >= n {
+			return nil, fmt.Errorf("graph: target %d out of range [0,%d)", t, n)
+		}
+		if t == src {
+			return nil, fmt.Errorf("graph: source %d cannot be its own target", src)
+		}
+		if isTarget[t] {
+			return nil, fmt.Errorf("graph: duplicate target %d", t)
+		}
+		isTarget[t] = true
+	}
+
+	// Node-split network plus a super-sink at index 2n.
+	f := newFlowNet(2*n + 1)
+	sink := 2 * n
+	for v := 0; v < n; v++ {
+		cap := int8(1)
+		if v == src {
+			cap = 127
+		}
+		f.addArc(splitIn(v), splitOut(v), cap)
+		prev := int32(-1)
+		for _, w := range d.Neighbors(v) {
+			if w == prev || int(w) == v {
+				prev = w
+				continue
+			}
+			prev = w
+			f.addArc(splitOut(v), splitIn(int(w)), 1)
+		}
+	}
+	for t := range isTarget {
+		f.addArc(splitOut(t), sink, 1)
+	}
+	flow := f.maxFlow(splitOut(src), sink, len(targets))
+	if flow != len(targets) {
+		return nil, fmt.Errorf("graph: only %d of %d disjoint paths exist from %d", flow, len(targets), src)
+	}
+
+	// Decompose: walk flow-carrying arcs from src; each walk ends at a
+	// target whose sink arc is saturated.
+	used := make([][]bool, len(f.edges))
+	for v := range used {
+		used[v] = make([]bool, len(f.edges[v]))
+	}
+	next := func(v int) int {
+		for i, e := range f.edges[v] {
+			if used[v][i] || int(e.to) == sink {
+				continue
+			}
+			if f.edges[e.to][e.rev].cap > 0 && isForwardArc(f, v, i) {
+				used[v][i] = true
+				return int(e.to)
+			}
+		}
+		return -1
+	}
+	// A walk can never pass *through* a target: its split arc has
+	// capacity 1 and that unit leaves via the sink, so every walk from
+	// src terminates exactly at its own target (loops en route are cut
+	// out as in DisjointPaths).
+	paths := make([][]int, 0, len(targets))
+	for k := 0; k < len(targets); k++ {
+		path := []int{src}
+		at := map[int]int{src: 0}
+		v := splitOut(src)
+		for {
+			w := next(v)
+			if w == -1 {
+				break
+			}
+			orig := w / 2
+			if i, seen := at[orig]; seen {
+				for _, x := range path[i+1:] {
+					delete(at, x)
+				}
+				path = path[:i+1]
+			} else {
+				at[orig] = len(path)
+				path = append(path, orig)
+			}
+			v = splitOut(orig)
+		}
+		last := path[len(path)-1]
+		if !isTarget[last] {
+			return nil, fmt.Errorf("graph: flow decomposition ended at non-target %d", last)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// VerifyNodeToSetPaths checks that paths is a valid fan: path i runs
+// from src to targets[i] (in some order covering all targets), each is
+// a simple path on edges of g, and no vertex other than src appears in
+// two paths.
+func VerifyNodeToSetPaths(g Graph, src int, targets []int, paths [][]int) error {
+	if len(paths) != len(targets) {
+		return fmt.Errorf("graph: %d paths for %d targets", len(paths), len(targets))
+	}
+	remaining := make(map[int]bool, len(targets))
+	for _, t := range targets {
+		remaining[t] = true
+	}
+	seen := make(map[int]int)
+	for pi, p := range paths {
+		if len(p) < 2 || p[0] != src {
+			return fmt.Errorf("graph: path %d does not start at %d: %v", pi, src, p)
+		}
+		end := p[len(p)-1]
+		if !remaining[end] {
+			return fmt.Errorf("graph: path %d ends at %d, not an unused target", pi, end)
+		}
+		delete(remaining, end)
+		if err := VerifyPath(g, p); err != nil {
+			return fmt.Errorf("graph: path %d: %w", pi, err)
+		}
+		for _, v := range p[1:] {
+			if other, dup := seen[v]; dup {
+				return fmt.Errorf("graph: paths %d and %d share vertex %d", other, pi, v)
+			}
+			seen[v] = pi
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package graph
+
+import "fmt"
+
+// Product is the Cartesian product G □ H (Definition 3 of the paper uses
+// exactly this product to define HB(m,n) = H_m □ B_n): vertex (u,x) is
+// adjacent to (v,y) iff u=v and {x,y} is an edge of H, or x=y and {u,v}
+// is an edge of G.
+//
+// Vertices are encoded as u*H.Order() + x, i.e. the G coordinate is the
+// high digit. Product implements Graph lazily; Build it for algorithms
+// needing random access.
+type Product struct {
+	G, H Graph
+}
+
+// NewProduct returns the Cartesian product of g and h.
+func NewProduct(g, h Graph) *Product { return &Product{G: g, H: h} }
+
+// Order returns |G|·|H|.
+func (p *Product) Order() int { return p.G.Order() * p.H.Order() }
+
+// Encode maps a coordinate pair to a product vertex id.
+func (p *Product) Encode(u, x int) int { return u*p.H.Order() + x }
+
+// Decode splits a product vertex id into its (G, H) coordinates.
+func (p *Product) Decode(v int) (u, x int) { return v / p.H.Order(), v % p.H.Order() }
+
+// AppendNeighbors implements Graph.
+func (p *Product) AppendNeighbors(v int, buf []int) []int {
+	u, x := p.Decode(v)
+	start := len(buf)
+	buf = p.G.AppendNeighbors(u, buf)
+	for i := start; i < len(buf); i++ {
+		buf[i] = p.Encode(buf[i], x)
+	}
+	start = len(buf)
+	buf = p.H.AppendNeighbors(x, buf)
+	for i := start; i < len(buf); i++ {
+		buf[i] = p.Encode(u, buf[i])
+	}
+	return buf
+}
+
+// VertexLabel renders a product vertex as "(gLabel; hLabel)", using the
+// factors' own labels when available.
+func (p *Product) VertexLabel(v int) string {
+	u, x := p.Decode(v)
+	gl := fmt.Sprintf("%d", u)
+	if n, ok := p.G.(Named); ok {
+		gl = n.VertexLabel(u)
+	}
+	hl := fmt.Sprintf("%d", x)
+	if n, ok := p.H.(Named); ok {
+		hl = n.VertexLabel(x)
+	}
+	return "(" + gl + "; " + hl + ")"
+}
+
+// Ring is the cycle graph C(n) for n >= 3. It is both a test fixture and
+// the building block of the wrap-around meshes of Section 4.
+type Ring struct{ N int }
+
+// Order returns the number of ring vertices.
+func (r Ring) Order() int { return r.N }
+
+// AppendNeighbors implements Graph.
+func (r Ring) AppendNeighbors(v int, buf []int) []int {
+	if r.N < 3 {
+		panic(fmt.Sprintf("graph: Ring of %d vertices is not a cycle", r.N))
+	}
+	return append(buf, (v+1)%r.N, (v+r.N-1)%r.N)
+}
+
+// Path is the path graph P(n) on n vertices.
+type Path struct{ N int }
+
+// Order returns the number of path vertices.
+func (p Path) Order() int { return p.N }
+
+// AppendNeighbors implements Graph.
+func (p Path) AppendNeighbors(v int, buf []int) []int {
+	if v > 0 {
+		buf = append(buf, v-1)
+	}
+	if v < p.N-1 {
+		buf = append(buf, v+1)
+	}
+	return buf
+}
+
+// Complete is the complete graph K(n).
+type Complete struct{ N int }
+
+// Order returns n.
+func (k Complete) Order() int { return k.N }
+
+// AppendNeighbors implements Graph.
+func (k Complete) AppendNeighbors(v int, buf []int) []int {
+	for w := 0; w < k.N; w++ {
+		if w != v {
+			buf = append(buf, w)
+		}
+	}
+	return buf
+}
+
+// Torus is the wrap-around mesh M(n1,n2) = C(n1) □ C(n2) of Section 4.
+// Vertex (i,j) is encoded as i*N2 + j.
+type Torus struct{ N1, N2 int }
+
+// Order returns n1·n2.
+func (t Torus) Order() int { return t.N1 * t.N2 }
+
+// Encode maps torus coordinates to a vertex id.
+func (t Torus) Encode(i, j int) int { return i*t.N2 + j }
+
+// Decode splits a vertex id into torus coordinates.
+func (t Torus) Decode(v int) (i, j int) { return v / t.N2, v % t.N2 }
+
+// AppendNeighbors implements Graph.
+func (t Torus) AppendNeighbors(v int, buf []int) []int {
+	i, j := t.Decode(v)
+	return append(buf,
+		t.Encode((i+1)%t.N1, j),
+		t.Encode((i+t.N1-1)%t.N1, j),
+		t.Encode(i, (j+1)%t.N2),
+		t.Encode(i, (j+t.N2-1)%t.N2),
+	)
+}

@@ -1,0 +1,169 @@
+// Package hypercube implements the binary hypercube H_m of Section 2.1:
+// 2^m vertices labelled by m-bit words, with an edge wherever the Hamming
+// distance is 1. H_m is the first factor of the hyper-butterfly product
+// HB(m,n) = H_m □ B_n; the routing and disjoint-path constructions here
+// are the ones Theorem 5 and the shortest-routing scheme of Section 3
+// lean on (via Saad & Schultz, IEEE ToC 1988).
+package hypercube
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Cube is the hypercube H_m. The zero value is the degenerate H_0 (a
+// single vertex).
+type Cube struct {
+	m int
+}
+
+// New returns H_m. m may be 0 (a single vertex, used when the
+// hyper-butterfly degenerates to a pure butterfly); m is capped at 30 so
+// vertex ids fit comfortably in int on all platforms.
+func New(m int) (*Cube, error) {
+	if m < 0 || m > 30 {
+		return nil, fmt.Errorf("hypercube: dimension %d out of range [0,30]", m)
+	}
+	return &Cube{m: m}, nil
+}
+
+// MustNew is New for known-good dimensions; it panics on error.
+func MustNew(m int) *Cube {
+	c, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Dim returns the dimension m.
+func (c *Cube) Dim() int { return c.m }
+
+// Order returns 2^m.
+func (c *Cube) Order() int { return 1 << uint(c.m) }
+
+// EdgeCountFormula returns m·2^(m-1), the edge count quoted in Section 2.1.
+func (c *Cube) EdgeCountFormula() int {
+	if c.m == 0 {
+		return 0
+	}
+	return c.m << uint(c.m-1)
+}
+
+// DiameterFormula returns the analytic diameter D(H_m) = m.
+func (c *Cube) DiameterFormula() int { return c.m }
+
+// ConnectivityFormula returns the analytic vertex connectivity m.
+func (c *Cube) ConnectivityFormula() int { return c.m }
+
+// Degree returns the degree of every vertex, m.
+func (c *Cube) Degree() int { return c.m }
+
+// AppendNeighbors implements graph.Graph: the m neighbors of v are the
+// labels obtained by complementing one bit (generator h_i of the paper).
+func (c *Cube) AppendNeighbors(v int, buf []int) []int {
+	for i := 0; i < c.m; i++ {
+		buf = append(buf, v^(1<<uint(i)))
+	}
+	return buf
+}
+
+// VertexLabel renders v as the m-bit string x_{m-1}...x_0.
+func (c *Cube) VertexLabel(v int) string { return bitvec.String(uint64(v), c.m) }
+
+// Distance returns the Hamming distance between vertices u and v, the
+// shortest-path distance in H_m.
+func (c *Cube) Distance(u, v int) int { return bitvec.Hamming(uint64(u), uint64(v)) }
+
+// Route returns a shortest u-v path (inclusive of endpoints) using
+// e-cube (dimension-order) routing: differing bits are corrected from the
+// lowest dimension upward.
+func (c *Cube) Route(u, v int) []int {
+	path := make([]int, 0, c.Distance(u, v)+1)
+	path = append(path, u)
+	cur := u
+	for i := 0; i < c.m; i++ {
+		bit := 1 << uint(i)
+		if cur&bit != v&bit {
+			cur ^= bit
+			path = append(path, cur)
+		}
+	}
+	return path
+}
+
+// routeRotated routes u to v correcting the differing dimensions in the
+// cyclic order start, start+1, ..., m-1, 0, ..., start-1. Used by the
+// disjoint-path construction.
+func (c *Cube) routeRotated(u, v, start int) []int {
+	path := []int{u}
+	cur := u
+	for k := 0; k < c.m; k++ {
+		i := (start + k) % c.m
+		bit := 1 << uint(i)
+		if cur&bit != v&bit {
+			cur ^= bit
+			path = append(path, cur)
+		}
+	}
+	return path
+}
+
+// DisjointPaths returns exactly m pairwise internally vertex-disjoint
+// paths from u to v (u != v), following the classic rotation construction
+// of Saad & Schultz:
+//
+//   - For each dimension d in which u and v differ, one path first
+//     corrects d, then the remaining differing dimensions in cyclic
+//     order, giving |D| paths of length |D|.
+//   - For each dimension d in which they agree, one path detours out
+//     along d, corrects all differing dimensions in cyclic order, and
+//     returns along d, giving m-|D| paths of length |D|+2.
+//
+// Paths in the first family are pinned to distinct first-corrected
+// dimensions; paths in the second family live in the "wrong side" of
+// dimension d throughout their interior, so all m paths are internally
+// disjoint (verified exhaustively in tests).
+func (c *Cube) DisjointPaths(u, v int) ([][]int, error) {
+	if u == v {
+		return nil, fmt.Errorf("hypercube: DisjointPaths endpoints equal (%d)", u)
+	}
+	if u < 0 || u >= c.Order() || v < 0 || v >= c.Order() {
+		return nil, fmt.Errorf("hypercube: endpoints %d,%d out of range", u, v)
+	}
+	paths := make([][]int, 0, c.m)
+	diff := uint64(u ^ v)
+	for d := 0; d < c.m; d++ {
+		bit := 1 << uint(d)
+		if diff&uint64(bit) != 0 {
+			// Correct d first, then the rest cyclically from d+1.
+			first := u ^ bit
+			rest := c.routeRotated(first, v, (d+1)%c.m)
+			paths = append(paths, append([]int{u}, rest...))
+		} else {
+			// Detour: flip d, correct all differing dims cyclically
+			// starting just above d, then flip d back.
+			out := u ^ bit
+			mid := c.routeRotated(out, v^bit, (d+1)%c.m)
+			path := append([]int{u}, mid...)
+			path = append(path, v)
+			paths = append(paths, path)
+		}
+	}
+	return paths, nil
+}
+
+// EvenCycle returns a cycle of length k through distinct vertices of H_m,
+// for even k with 4 <= k <= 2^m (Remark 9).
+func (c *Cube) EvenCycle(k int) ([]int, error) {
+	words, err := bitvec.EvenCycleInCube(c.m, k)
+	if err != nil {
+		return nil, err
+	}
+	cyc := make([]int, len(words))
+	for i, w := range words {
+		cyc[i] = int(w)
+	}
+	return cyc, nil
+}

@@ -1,0 +1,187 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestNewBounds(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("accepted m = -1")
+	}
+	if _, err := New(31); err == nil {
+		t.Error("accepted m = 31")
+	}
+	c, err := New(0)
+	if err != nil || c.Order() != 1 {
+		t.Errorf("H_0: %v order %d", err, c.Order())
+	}
+}
+
+func TestCountsMatchFormulas(t *testing.T) {
+	for m := 0; m <= 8; m++ {
+		c := MustNew(m)
+		d := graph.Build(c)
+		if d.Order() != c.Order() {
+			t.Fatalf("m=%d: order %d", m, d.Order())
+		}
+		if d.EdgeCount() != c.EdgeCountFormula() {
+			t.Fatalf("m=%d: edges %d, want %d", m, d.EdgeCount(), c.EdgeCountFormula())
+		}
+		st := graph.Degrees(d)
+		if m > 0 && (!st.Regular || st.Min != m) {
+			t.Fatalf("m=%d: degrees %+v", m, st)
+		}
+		if err := graph.CheckUndirected(c); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+	}
+}
+
+func TestDiameterMatchesFormula(t *testing.T) {
+	for m := 1; m <= 7; m++ {
+		c := MustNew(m)
+		if got := graph.Diameter(graph.Build(c)); got != c.DiameterFormula() {
+			t.Fatalf("m=%d: diameter %d, want %d", m, got, m)
+		}
+	}
+}
+
+func TestConnectivityMatchesFormula(t *testing.T) {
+	for m := 2; m <= 5; m++ {
+		c := MustNew(m)
+		d := graph.Build(c)
+		if got := graph.ConnectivityVertexTransitive(d); got != m {
+			t.Fatalf("m=%d: connectivity %d", m, got)
+		}
+	}
+}
+
+func TestRouteIsShortest(t *testing.T) {
+	c := MustNew(5)
+	for u := 0; u < c.Order(); u++ {
+		for v := 0; v < c.Order(); v++ {
+			p := c.Route(u, v)
+			if err := graph.VerifyPath(c, p); err != nil {
+				t.Fatalf("route %d->%d: %v", u, v, err)
+			}
+			if len(p)-1 != c.Distance(u, v) {
+				t.Fatalf("route %d->%d length %d, want %d", u, v, len(p)-1, c.Distance(u, v))
+			}
+		}
+	}
+}
+
+func TestDistanceAgainstBFS(t *testing.T) {
+	c := MustNew(6)
+	dist := graph.BFS(c, 13, nil)
+	for v := 0; v < c.Order(); v++ {
+		if int(dist[v]) != c.Distance(13, v) {
+			t.Fatalf("Distance(13,%d) = %d, BFS says %d", v, c.Distance(13, v), dist[v])
+		}
+	}
+}
+
+func TestDisjointPathsExhaustive(t *testing.T) {
+	for m := 2; m <= 4; m++ {
+		c := MustNew(m)
+		for u := 0; u < c.Order(); u++ {
+			for v := 0; v < c.Order(); v++ {
+				if u == v {
+					continue
+				}
+				paths, err := c.DisjointPaths(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(paths) != m {
+					t.Fatalf("m=%d %d->%d: %d paths", m, u, v, len(paths))
+				}
+				if err := graph.VerifyDisjointPaths(c, u, v, paths); err != nil {
+					t.Fatalf("m=%d %d->%d: %v", m, u, v, err)
+				}
+				// Theorem 5's length bound: each path at most Hamming+2.
+				for _, p := range paths {
+					if len(p)-1 > c.Distance(u, v)+2 {
+						t.Fatalf("m=%d %d->%d: path length %d exceeds dist+2", m, u, v, len(p)-1)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDisjointPathsRandomLarge(t *testing.T) {
+	c := MustNew(10)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		u, v := rng.Intn(c.Order()), rng.Intn(c.Order())
+		if u == v {
+			continue
+		}
+		paths, err := c.DisjointPaths(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) != 10 {
+			t.Fatalf("%d paths", len(paths))
+		}
+		if err := graph.VerifyDisjointPaths(c, u, v, paths); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDisjointPathsErrors(t *testing.T) {
+	c := MustNew(3)
+	if _, err := c.DisjointPaths(1, 1); err == nil {
+		t.Error("accepted equal endpoints")
+	}
+	if _, err := c.DisjointPaths(-1, 2); err == nil {
+		t.Error("accepted negative endpoint")
+	}
+	if _, err := c.DisjointPaths(0, 8); err == nil {
+		t.Error("accepted out-of-range endpoint")
+	}
+}
+
+func TestEvenCycle(t *testing.T) {
+	c := MustNew(4)
+	for k := 4; k <= 16; k += 2 {
+		cyc, err := c.EvenCycle(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(cyc) != k {
+			t.Fatalf("k=%d: length %d", k, len(cyc))
+		}
+		if err := graph.VerifyCycle(c, cyc); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+	if _, err := c.EvenCycle(5); err == nil {
+		t.Error("accepted odd cycle")
+	}
+}
+
+func TestRoutePropertyRandom(t *testing.T) {
+	c := MustNew(16)
+	f := func(a, b uint16) bool {
+		u, v := int(a), int(b)
+		p := c.Route(u, v)
+		return len(p)-1 == c.Distance(u, v) && p[0] == u && p[len(p)-1] == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVertexLabel(t *testing.T) {
+	c := MustNew(4)
+	if got := c.VertexLabel(5); got != "0101" {
+		t.Errorf("label = %q", got)
+	}
+}

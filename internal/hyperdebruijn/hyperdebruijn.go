@@ -1,0 +1,136 @@
+// Package hyperdebruijn implements the hyper-deBruijn network HD(m,n)
+// of Ganesan & Pradhan (reference [1] of the paper), the baseline the
+// hyper-butterfly is compared against in Figures 1 and 2: the Cartesian
+// product of the hypercube H_m and the binary de Bruijn graph D_n.
+//
+// HD(m,n) has 2^(m+n) nodes. It is NOT regular: generic nodes have
+// degree m+4, but the de Bruijn loop vertices drop to m+2 (and the
+// alternating words to m+3), which is exactly the shortcoming — lower
+// fault tolerance than the common degree — that motivates the
+// hyper-butterfly.
+package hyperdebruijn
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/debruijn"
+	"repro/internal/hypercube"
+)
+
+// Node is a hyper-deBruijn vertex id in [0, 2^(m+n)): id = h·2^n + d.
+type Node = int
+
+// HyperDeBruijn is the network HD(m,n).
+type HyperDeBruijn struct {
+	m    int
+	cube *hypercube.Cube
+	db   *debruijn.Graph
+}
+
+// New returns HD(m,n) for 0 <= m <= 30 and 2 <= n <= 30 with m+n <= 40.
+func New(m, n int) (*HyperDeBruijn, error) {
+	cube, err := hypercube.New(m)
+	if err != nil {
+		return nil, fmt.Errorf("hyperdebruijn: %w", err)
+	}
+	db, err := debruijn.New(n)
+	if err != nil {
+		return nil, fmt.Errorf("hyperdebruijn: %w", err)
+	}
+	if m+n > 40 {
+		return nil, fmt.Errorf("hyperdebruijn: m+n = %d too large", m+n)
+	}
+	return &HyperDeBruijn{m: m, cube: cube, db: db}, nil
+}
+
+// MustNew is New for known-good dimensions; it panics on error.
+func MustNew(m, n int) *HyperDeBruijn {
+	hd, err := New(m, n)
+	if err != nil {
+		panic(err)
+	}
+	return hd
+}
+
+// M returns the hypercube dimension.
+func (hd *HyperDeBruijn) M() int { return hd.m }
+
+// N returns the de Bruijn dimension.
+func (hd *HyperDeBruijn) N() int { return hd.db.Dim() }
+
+// Order returns 2^(m+n).
+func (hd *HyperDeBruijn) Order() int { return 1 << uint(hd.m+hd.N()) }
+
+// MaxDegree returns m+4, the degree of generic nodes (Figure 1's
+// "Degree" row for HD).
+func (hd *HyperDeBruijn) MaxDegree() int { return hd.m + 4 }
+
+// MinDegree returns m+2, the degree of the two de Bruijn loop nodes —
+// and therefore the fault tolerance ceiling (Figure 1's
+// "Fault-tolerance" row).
+func (hd *HyperDeBruijn) MinDegree() int { return hd.m + 2 }
+
+// DiameterFormula returns m+n.
+func (hd *HyperDeBruijn) DiameterFormula() int { return hd.m + hd.N() }
+
+// ConnectivityFormula returns m+2: a minimum cut isolates a loop vertex.
+func (hd *HyperDeBruijn) ConnectivityFormula() int { return hd.m + 2 }
+
+// Encode assembles a node id from the hypercube part h and de Bruijn
+// part d.
+func (hd *HyperDeBruijn) Encode(h, d int) Node {
+	if h < 0 || h >= hd.cube.Order() || d < 0 || d >= hd.db.Order() {
+		panic(fmt.Sprintf("hyperdebruijn: invalid label (h=%d, d=%d) for HD(%d,%d)", h, d, hd.m, hd.N()))
+	}
+	return h<<uint(hd.N()) | d
+}
+
+// Decode splits a node id into its parts.
+func (hd *HyperDeBruijn) Decode(v Node) (h, d int) {
+	return v >> uint(hd.N()), v & int(bitvec.Mask(hd.N()))
+}
+
+// AppendNeighbors implements graph.Graph: m hypercube neighbors plus the
+// simple-graph de Bruijn neighbors (2 to 4 of them).
+func (hd *HyperDeBruijn) AppendNeighbors(v int, buf []int) []int {
+	h, d := hd.Decode(v)
+	for i := 0; i < hd.m; i++ {
+		buf = append(buf, hd.Encode(h^(1<<uint(i)), d))
+	}
+	start := len(buf)
+	buf = hd.db.AppendNeighbors(d, buf)
+	for i := start; i < len(buf); i++ {
+		buf[i] = hd.Encode(h, buf[i])
+	}
+	return buf
+}
+
+// VertexLabel renders v as "(h-bits; d-bits)".
+func (hd *HyperDeBruijn) VertexLabel(v Node) string {
+	h, d := hd.Decode(v)
+	return "(" + bitvec.String(uint64(h), hd.m) + "; " + bitvec.String(uint64(d), hd.N()) + ")"
+}
+
+// Route returns a u-v walk combining e-cube routing on the hypercube
+// part with single-direction shift routing on the de Bruijn part, the
+// scheme of reference [1]. Its length is at most m+n but is not always
+// optimal — the paper's point that HD routing is "relatively complex"
+// refers exactly to the gap closed here only by search.
+func (hd *HyperDeBruijn) Route(u, v Node) []Node {
+	hu, du := hd.Decode(u)
+	hv, dv := hd.Decode(v)
+	path := []Node{u}
+	cur := hu
+	for _, d := range bitvec.DiffBits(uint64(hu), uint64(hv), hd.m) {
+		cur ^= 1 << uint(d)
+		path = append(path, hd.Encode(cur, du))
+	}
+	for _, d := range hd.db.Route(du, dv)[1:] {
+		path = append(path, hd.Encode(hv, d))
+	}
+	return path
+}
+
+// RouteLengthBound returns m+n, the worst-case Route length.
+func (hd *HyperDeBruijn) RouteLengthBound() int { return hd.m + hd.N() }

@@ -1,0 +1,118 @@
+package hyperdebruijn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, 3); err == nil {
+		t.Error("accepted m = -1")
+	}
+	if _, err := New(1, 1); err == nil {
+		t.Error("accepted n = 1")
+	}
+	if _, err := New(30, 30); err == nil {
+		t.Error("accepted m+n = 60")
+	}
+}
+
+func TestStructure(t *testing.T) {
+	for m := 0; m <= 3; m++ {
+		for n := 3; n <= 5; n++ {
+			hd := MustNew(m, n)
+			if hd.Order() != 1<<uint(m+n) {
+				t.Fatalf("HD(%d,%d): order %d", m, n, hd.Order())
+			}
+			if err := graph.CheckUndirected(hd); err != nil {
+				t.Fatalf("HD(%d,%d): %v", m, n, err)
+			}
+			st := graph.Degrees(graph.Build(hd))
+			if st.Max != hd.MaxDegree() {
+				t.Fatalf("HD(%d,%d): max degree %d, want %d", m, n, st.Max, hd.MaxDegree())
+			}
+			if st.Min != hd.MinDegree() {
+				t.Fatalf("HD(%d,%d): min degree %d, want %d", m, n, st.Min, hd.MinDegree())
+			}
+			if st.Regular {
+				t.Fatalf("HD(%d,%d) must not be regular", m, n)
+			}
+			// Exactly 2·2^m nodes of minimum degree (the loop words).
+			if st.Histogram[hd.MinDegree()] != 2<<uint(m) {
+				t.Fatalf("HD(%d,%d): %d min-degree nodes, want %d",
+					m, n, st.Histogram[hd.MinDegree()], 2<<uint(m))
+			}
+		}
+	}
+}
+
+func TestDiameterMatchesFormula(t *testing.T) {
+	for m := 0; m <= 2; m++ {
+		for n := 3; n <= 5; n++ {
+			hd := MustNew(m, n)
+			if got := graph.Diameter(graph.Build(hd)); got != hd.DiameterFormula() {
+				t.Fatalf("HD(%d,%d): diameter %d, want %d", m, n, got, hd.DiameterFormula())
+			}
+		}
+	}
+}
+
+// TestConnectivity verifies the m+2 fault tolerance claim of Figure 1 —
+// the key weakness of HD versus HB.
+func TestConnectivity(t *testing.T) {
+	for _, dims := range [][2]int{{1, 3}, {2, 3}, {1, 4}} {
+		hd := MustNew(dims[0], dims[1])
+		got := graph.Connectivity(graph.Build(hd))
+		if got != hd.ConnectivityFormula() {
+			t.Fatalf("HD%v: connectivity %d, want %d", dims, got, hd.ConnectivityFormula())
+		}
+	}
+}
+
+func TestRouteValid(t *testing.T) {
+	hd := MustNew(2, 4)
+	d := graph.Build(hd)
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 2000; trial++ {
+		u, v := rng.Intn(hd.Order()), rng.Intn(hd.Order())
+		p := hd.Route(u, v)
+		if p[0] != u || p[len(p)-1] != v {
+			t.Fatalf("route %d->%d endpoints %v", u, v, p)
+		}
+		if len(p)-1 > hd.RouteLengthBound() {
+			t.Fatalf("route %d->%d length %d exceeds m+n", u, v, len(p)-1)
+		}
+		for i := 1; i < len(p); i++ {
+			if !d.HasEdge(p[i-1], p[i]) {
+				t.Fatalf("route %d->%d uses non-edge %d-%d", u, v, p[i-1], p[i])
+			}
+		}
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	hd := MustNew(3, 4)
+	for v := 0; v < hd.Order(); v++ {
+		h, d := hd.Decode(v)
+		if hd.Encode(h, d) != v {
+			t.Fatalf("round trip failed at %d", v)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Encode accepted bad label")
+			}
+		}()
+		hd.Encode(8, 0)
+	}()
+}
+
+func TestVertexLabel(t *testing.T) {
+	hd := MustNew(2, 3)
+	if got := hd.VertexLabel(hd.Encode(2, 5)); got != "(10; 101)" {
+		t.Errorf("label = %q", got)
+	}
+}

@@ -1,0 +1,132 @@
+// Package layout provides the VLSI-oriented structural metrics behind
+// the paper's motivation (bounded degree "from VLSI implementation
+// point of view", the dBCube area argument of reference [2]): explicit
+// balanced bisections and their cut widths. By Thompson's argument the
+// bisection width lower-bounds wire area, so the constructive cuts here
+// are the quantities a layout engineer would ask this library for.
+//
+// Two natural cuts of HB(m,n) are constructed and counted exactly:
+//
+//   - the hypercube dimension cut (split on one hypercube label bit):
+//     perfectly balanced, cut width = |V|/2 — every node owns exactly
+//     one edge of the chosen dimension;
+//   - the butterfly level cut (split on permutation index): for even n
+//     perfectly balanced with cut width 2^(m+n+2) — only the two level
+//     boundaries carry crossing edges, so it is asymptotically far
+//     thinner than any dimension cut.
+//
+// The minimum of the two is an upper bound on the bisection width.
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Cut is a 2-partition of a graph's vertices with its measured cost.
+type Cut struct {
+	// Side[v] reports which side v is on (false = A, true = B).
+	Side []bool
+	// SizeA and SizeB are the part sizes.
+	SizeA, SizeB int
+	// CrossEdges counts undirected edges with endpoints on both sides.
+	CrossEdges int
+}
+
+// Balanced reports whether the two sides differ in size by at most 1.
+func (c Cut) Balanced() bool {
+	diff := c.SizeA - c.SizeB
+	return diff >= -1 && diff <= 1
+}
+
+// Measure fills in the sizes and cross-edge count of side on g.
+func Measure(g graph.Graph, side []bool) (Cut, error) {
+	n := g.Order()
+	if len(side) != n {
+		return Cut{}, fmt.Errorf("layout: side mask has %d entries for %d vertices", len(side), n)
+	}
+	c := Cut{Side: side}
+	var buf []int
+	for v := 0; v < n; v++ {
+		if side[v] {
+			c.SizeB++
+		} else {
+			c.SizeA++
+		}
+		buf = g.AppendNeighbors(v, buf[:0])
+		for _, w := range buf {
+			if w > v && side[v] != side[w] {
+				c.CrossEdges++
+			}
+		}
+	}
+	return c, nil
+}
+
+// HypercubeDimCut splits HB(m,n) on bit dim of the hypercube-part
+// label. Always perfectly balanced; the cut width is |V|/2.
+func HypercubeDimCut(hb *core.HyperButterfly, dim int) (Cut, error) {
+	if dim < 0 || dim >= hb.M() {
+		return Cut{}, fmt.Errorf("layout: hypercube dimension %d out of range [0,%d)", dim, hb.M())
+	}
+	side := make([]bool, hb.Order())
+	for v := range side {
+		h, _ := hb.Decode(v)
+		side[v] = h&(1<<uint(dim)) != 0
+	}
+	return Measure(hb, side)
+}
+
+// ButterflyLevelCut splits HB(m,n) on the permutation index of the
+// butterfly part: side A holds PI < n/2. Perfectly balanced for even n
+// (nearly balanced otherwise); only the two level boundaries carry
+// crossing edges.
+func ButterflyLevelCut(hb *core.HyperButterfly) (Cut, error) {
+	bf := hb.Butterfly()
+	half := bf.Dim() / 2
+	side := make([]bool, hb.Order())
+	for v := range side {
+		_, b := hb.Decode(v)
+		side[v] = bf.PI(b) >= half
+	}
+	return Measure(hb, side)
+}
+
+// BisectionUpperBound returns the smaller of the two constructive cut
+// widths together with the name of the winning cut. For n >= 3 the
+// level cut always wins once n·|V| outgrows 2^(m+n+3) — i.e. for every
+// instance bigger than toy size.
+func BisectionUpperBound(hb *core.HyperButterfly) (int, string, error) {
+	level, err := ButterflyLevelCut(hb)
+	if err != nil {
+		return 0, "", err
+	}
+	best, name := level.CrossEdges, "butterfly level cut"
+	if !level.Balanced() {
+		best, name = -1, ""
+	}
+	if hb.M() > 0 {
+		dim, err := HypercubeDimCut(hb, 0)
+		if err != nil {
+			return 0, "", err
+		}
+		if best == -1 || dim.CrossEdges < best {
+			best, name = dim.CrossEdges, "hypercube dimension cut"
+		}
+	}
+	if best == -1 {
+		return 0, "", fmt.Errorf("layout: no balanced constructive cut for HB(%d,%d) (odd n with m=0)", hb.M(), hb.N())
+	}
+	return best, name, nil
+}
+
+// LevelCutWidthFormula returns the closed form 2^(m+n+2) for the level
+// cut of HB(m,n) with even n: each of the two level boundaries is
+// crossed by the g and f edges of 2^(m+n) boundary nodes.
+func LevelCutWidthFormula(m, n int) int { return 1 << uint(m+n+2) }
+
+// DimCutWidthFormula returns the closed form n·2^(m+n-1) = |V|/2 for
+// any hypercube dimension cut.
+func DimCutWidthFormula(m, n int) int { return n << uint(m+n-1) }

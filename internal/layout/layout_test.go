@@ -1,0 +1,105 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestHypercubeDimCut(t *testing.T) {
+	for _, dims := range [][2]int{{1, 3}, {2, 3}, {3, 4}} {
+		hb := core.MustNew(dims[0], dims[1])
+		for dim := 0; dim < hb.M(); dim++ {
+			cut, err := HypercubeDimCut(hb, dim)
+			if err != nil {
+				t.Fatalf("HB%v dim %d: %v", dims, dim, err)
+			}
+			if !cut.Balanced() || cut.SizeA != cut.SizeB {
+				t.Fatalf("HB%v dim %d: sizes %d/%d", dims, dim, cut.SizeA, cut.SizeB)
+			}
+			want := DimCutWidthFormula(dims[0], dims[1])
+			if cut.CrossEdges != want {
+				t.Fatalf("HB%v dim %d: cross %d, want %d", dims, dim, cut.CrossEdges, want)
+			}
+		}
+	}
+	hb := core.MustNew(2, 3)
+	if _, err := HypercubeDimCut(hb, 2); err == nil {
+		t.Error("accepted out-of-range dimension")
+	}
+}
+
+func TestButterflyLevelCut(t *testing.T) {
+	for _, dims := range [][2]int{{1, 4}, {2, 4}, {3, 6}} {
+		hb := core.MustNew(dims[0], dims[1])
+		cut, err := ButterflyLevelCut(hb)
+		if err != nil {
+			t.Fatalf("HB%v: %v", dims, err)
+		}
+		if cut.SizeA != cut.SizeB {
+			t.Fatalf("HB%v: sizes %d/%d", dims, cut.SizeA, cut.SizeB)
+		}
+		want := LevelCutWidthFormula(dims[0], dims[1])
+		if cut.CrossEdges != want {
+			t.Fatalf("HB%v: cross %d, want %d", dims, cut.CrossEdges, want)
+		}
+	}
+	// Odd n: nearly balanced but not exactly.
+	hb := core.MustNew(1, 3)
+	cut, err := ButterflyLevelCut(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.SizeA == cut.SizeB {
+		t.Fatal("odd n should not split evenly")
+	}
+}
+
+func TestBisectionUpperBound(t *testing.T) {
+	// HB(2,4): level cut 2^8 = 256 beats dimension cut 4·2^5 = 128?
+	// No: dim cut = |V|/2 = 128, level cut = 256; dim wins here.
+	hb := core.MustNew(2, 4)
+	w, name, err := BisectionUpperBound(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 128 || name != "hypercube dimension cut" {
+		t.Fatalf("HB(2,4): %d via %q", w, name)
+	}
+	// HB(2,10): |V|/2 = 10·2^11 = 20480; level cut = 2^14 = 16384; the
+	// level cut wins once n outgrows 8.
+	hb = core.MustNew(2, 10)
+	w, name, err = BisectionUpperBound(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 16384 || name != "butterfly level cut" {
+		t.Fatalf("HB(2,10): %d via %q", w, name)
+	}
+	// m=0 with odd n has no balanced constructive cut.
+	if _, _, err := BisectionUpperBound(core.MustNew(0, 3)); err == nil {
+		t.Error("accepted m=0, odd n")
+	}
+	// m=0 with even n falls back to the level cut.
+	w, name, err = BisectionUpperBound(core.MustNew(0, 4))
+	if err != nil || name != "butterfly level cut" || w != LevelCutWidthFormula(0, 4) {
+		t.Fatalf("HB(0,4): %d via %q err %v", w, name, err)
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	if _, err := Measure(hb, make([]bool, 3)); err == nil {
+		t.Error("accepted short mask")
+	}
+	// A trivial all-A cut has zero cross edges.
+	cut, err := Measure(hb, make([]bool, hb.Order()))
+	if err != nil || cut.CrossEdges != 0 || cut.SizeB != 0 {
+		t.Fatalf("all-A cut: %+v err %v", cut, err)
+	}
+	if cut.Balanced() {
+		t.Error("all-A cut reported balanced")
+	}
+	_ = graph.Graph(hb) // hb feeds Measure through the Graph interface
+}

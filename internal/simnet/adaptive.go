@@ -1,0 +1,189 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Adaptive is a topology routed hop by hop: at every node the engine
+// asks Candidates for the set of useful next hops and picks the one
+// with the shortest output queue. This models minimal adaptive routing,
+// the classical congestion-avoidance upgrade over deterministic source
+// routing; the E-S2 experiment quantifies the difference under hotspot
+// load.
+type Adaptive struct {
+	graph.Graph
+	// Candidates returns the neighbors of cur worth taking toward dst.
+	// Every returned vertex must be a neighbor of cur; for livelock
+	// freedom they should all strictly decrease the distance to dst
+	// (MinimalAdaptive guarantees this).
+	Candidates func(cur, dst int) []int
+}
+
+// MinimalAdaptive builds an Adaptive topology whose candidate set is
+// every neighbor strictly closer to the destination under dist — the
+// minimal (shortest-path-preserving) adaptive router. dist must be the
+// exact graph distance; all topologies in this repository provide one.
+func MinimalAdaptive(g graph.Graph, dist func(u, v int) int) Adaptive {
+	return Adaptive{
+		Graph: g,
+		Candidates: func(cur, dst int) []int {
+			var out []int
+			var buf []int
+			buf = g.AppendNeighbors(cur, buf)
+			d := dist(cur, dst)
+			for _, w := range buf {
+				if dist(w, dst) < d {
+					out = append(out, w)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// RunAdaptive simulates cfg on a with per-hop adaptive output
+// selection. Semantics match Run (synchronous cycles, one packet per
+// directed link per cycle, per-link FIFO queues); only the routing
+// decision differs.
+func RunAdaptive(a Adaptive, cfg Config) (Result, error) {
+	if cfg.Cycles <= 0 {
+		return Result{}, fmt.Errorf("simnet: non-positive cycle count %d", cfg.Cycles)
+	}
+	if cfg.Rate < 0 || cfg.Rate > 1 {
+		return Result{}, fmt.Errorf("simnet: injection rate %v outside [0,1]", cfg.Rate)
+	}
+	n := a.Order()
+	if cfg.Faulty != nil && len(cfg.Faulty) != n {
+		return Result{}, fmt.Errorf("simnet: fault mask has %d entries for %d nodes", len(cfg.Faulty), n)
+	}
+	d := graph.Build(a)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perm := rng.Perm(n)
+	usable := func(v int) bool { return cfg.Faulty == nil || !cfg.Faulty[v] }
+
+	type apacket struct {
+		at       int32
+		dst      int32
+		injected int32
+		moved    int32
+		hops     int32
+	}
+	queues := make([][][]*apacket, n)
+	for v := 0; v < n; v++ {
+		queues[v] = make([][]*apacket, d.Degree(v))
+	}
+	outIndex := func(v, w int) int {
+		row := d.Neighbors(v)
+		k := sort.Search(len(row), func(i int) bool { return row[i] >= int32(w) })
+		if k == len(row) || row[k] != int32(w) {
+			panic(fmt.Sprintf("simnet: adaptive candidate %d is not a neighbor of %d", w, v))
+		}
+		return k
+	}
+
+	var res Result
+	maxHops := int32(4*n + 16) // livelock guard; minimal routing never hits it
+	route := func(p *apacket) error {
+		cands := a.Candidates(int(p.at), int(p.dst))
+		if len(cands) == 0 {
+			return fmt.Errorf("simnet: no candidate hop from %d toward %d", p.at, p.dst)
+		}
+		bestK, bestLen := -1, 0
+		for _, w := range cands {
+			k := outIndex(int(p.at), w)
+			if qlen := len(queues[p.at][k]); bestK == -1 || qlen < bestLen {
+				bestK, bestLen = k, qlen
+			}
+		}
+		queues[p.at][bestK] = append(queues[p.at][bestK], p)
+		if bestLen+1 > res.MaxQueue {
+			res.MaxQueue = bestLen + 1
+		}
+		return nil
+	}
+
+	totalLatency, deliveredHops := 0, 0
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		for v := 0; v < n; v++ {
+			if !usable(v) || rng.Float64() >= cfg.Rate {
+				continue
+			}
+			dst := destFor(cfg.Pattern, rng, perm, n, v)
+			if dst == v || !usable(dst) {
+				continue
+			}
+			res.Injected++
+			if err := route(&apacket{at: int32(v), dst: int32(dst), injected: int32(cycle), moved: -1}); err != nil {
+				return res, err
+			}
+		}
+		for v := 0; v < n; v++ {
+			row := d.Neighbors(v)
+			for k := range queues[v] {
+				q := queues[v][k]
+				if len(q) == 0 {
+					continue
+				}
+				p := q[0]
+				if p.moved == int32(cycle) {
+					continue
+				}
+				queues[v][k] = q[1:]
+				p.at = row[k]
+				p.moved = int32(cycle)
+				p.hops++
+				res.TotalHops++
+				if p.hops > maxHops {
+					return res, fmt.Errorf("simnet: packet exceeded %d hops (non-minimal candidates?)", maxHops)
+				}
+				if p.at == p.dst {
+					res.Delivered++
+					deliveredHops += int(p.hops)
+					lat := cycle + 1 - int(p.injected)
+					totalLatency += lat
+					if lat > res.MaxLatency {
+						res.MaxLatency = lat
+					}
+					continue
+				}
+				if cfg.Faulty != nil && cfg.Faulty[p.at] {
+					return res, fmt.Errorf("simnet: adaptive route entered faulty node %d", p.at)
+				}
+				if err := route(p); err != nil {
+					return res, err
+				}
+			}
+		}
+	}
+	for v := range queues {
+		for k := range queues[v] {
+			res.InFlight += len(queues[v][k])
+		}
+	}
+	if res.Delivered > 0 {
+		res.AvgLatency = float64(totalLatency) / float64(res.Delivered)
+		res.AvgHops = float64(deliveredHops) / float64(res.Delivered)
+	}
+	res.Throughput = float64(res.Delivered) / float64(cfg.Cycles)
+	return res, nil
+}
+
+// destFor picks a destination for src under the pattern; shared by the
+// source-routed and adaptive engines.
+func destFor(p Pattern, rng *rand.Rand, perm []int, n, src int) int {
+	switch p {
+	case Uniform:
+		return rng.Intn(n)
+	case Permutation:
+		return perm[src]
+	case Reversal:
+		return n - 1 - src
+	case HotSpot:
+		return 0
+	}
+	return src
+}

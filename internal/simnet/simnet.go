@@ -1,0 +1,211 @@
+// Package simnet is a synchronous store-and-forward message-passing
+// simulator used as the dynamic-evaluation substrate (the paper's own
+// evaluation is purely analytical; see DESIGN.md §4 for the
+// substitution rationale). Topologies plug in through the Topology
+// interface; packets are source-routed along the topology's own routing
+// algorithm, each directed link transmits one packet per cycle, and
+// per-link FIFO queues model contention. The resulting latency and
+// throughput numbers make the static metrics of Figures 1-2 (degree,
+// diameter, fault tolerance) observable as dynamic behaviour.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Topology is a network a simulation can run on: a graph plus its
+// routing algorithm. RoutePath must return a walk from u to v including
+// both endpoints, using only edges of the graph and avoiding any nodes
+// the topology itself considers unusable.
+type Topology interface {
+	graph.Graph
+	RoutePath(u, v int) []int
+}
+
+// Routed adapts a graph and a routing function to the Topology
+// interface; all topology packages in this repository expose a
+// compatible Route method.
+type Routed struct {
+	graph.Graph
+	Route func(u, v int) []int
+}
+
+// RoutePath implements Topology.
+func (r Routed) RoutePath(u, v int) []int { return r.Route(u, v) }
+
+// Pattern selects packet destinations.
+type Pattern int
+
+const (
+	// Uniform picks destinations uniformly at random.
+	Uniform Pattern = iota
+	// Permutation fixes one random destination per source.
+	Permutation
+	// Reversal sends node i to node order-1-i, a deterministic
+	// adversarial pattern that stresses long paths.
+	Reversal
+	// HotSpot sends every packet to node 0.
+	HotSpot
+)
+
+// String names the pattern for reports.
+func (p Pattern) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case Permutation:
+		return "permutation"
+	case Reversal:
+		return "reversal"
+	case HotSpot:
+		return "hotspot"
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// Config parameterises a run.
+type Config struct {
+	Cycles int     // simulated cycles
+	Rate   float64 // injection probability per node per cycle
+	Pattern
+	Seed   int64
+	Faulty []bool // nodes that neither inject nor relay (optional)
+}
+
+// Result aggregates the run's metrics.
+type Result struct {
+	Injected   int
+	Delivered  int
+	InFlight   int
+	TotalHops  int
+	AvgLatency float64 // cycles from injection to delivery
+	MaxLatency int
+	AvgHops    float64
+	Throughput float64 // delivered packets per cycle
+	MaxQueue   int     // peak per-link queue occupancy
+}
+
+type packet struct {
+	path     []int32
+	idx      int32 // current position within path
+	injected int32 // injection cycle
+	moved    int32 // last cycle this packet hopped (guards double moves)
+}
+
+// Run simulates cfg on t and returns aggregate metrics.
+func Run(t Topology, cfg Config) (Result, error) {
+	if cfg.Cycles <= 0 {
+		return Result{}, fmt.Errorf("simnet: non-positive cycle count %d", cfg.Cycles)
+	}
+	if cfg.Rate < 0 || cfg.Rate > 1 {
+		return Result{}, fmt.Errorf("simnet: injection rate %v outside [0,1]", cfg.Rate)
+	}
+	n := t.Order()
+	if cfg.Faulty != nil && len(cfg.Faulty) != n {
+		return Result{}, fmt.Errorf("simnet: fault mask has %d entries for %d nodes", len(cfg.Faulty), n)
+	}
+	d := graph.Build(t)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	perm := rng.Perm(n) // used by Permutation
+	dest := func(src int) int { return destFor(cfg.Pattern, rng, perm, n, src) }
+	usable := func(v int) bool { return cfg.Faulty == nil || !cfg.Faulty[v] }
+
+	// queues[v][k] is the FIFO for the k-th out-edge of v.
+	queues := make([][][]*packet, n)
+	for v := 0; v < n; v++ {
+		queues[v] = make([][]*packet, d.Degree(v))
+	}
+	outIndex := func(v, w int) int {
+		row := d.Neighbors(v)
+		k := sort.Search(len(row), func(i int) bool { return row[i] >= int32(w) })
+		if k == len(row) || row[k] != int32(w) {
+			panic(fmt.Sprintf("simnet: route uses non-edge %d-%d", v, w))
+		}
+		return k
+	}
+
+	var res Result
+	enqueue := func(p *packet) {
+		v := int(p.path[p.idx])
+		w := int(p.path[p.idx+1])
+		k := outIndex(v, w)
+		queues[v][k] = append(queues[v][k], p)
+		if len(queues[v][k]) > res.MaxQueue {
+			res.MaxQueue = len(queues[v][k])
+		}
+	}
+
+	totalLatency := 0
+	deliveredHops := 0
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		// Injection.
+		for v := 0; v < n; v++ {
+			if !usable(v) || rng.Float64() >= cfg.Rate {
+				continue
+			}
+			dst := dest(v)
+			if dst == v || !usable(dst) {
+				continue
+			}
+			walk := t.RoutePath(v, dst)
+			if len(walk) < 2 || walk[0] != v || walk[len(walk)-1] != dst {
+				return res, fmt.Errorf("simnet: bad route %v for %d->%d", walk, v, dst)
+			}
+			p := &packet{path: make([]int32, len(walk)), injected: int32(cycle), moved: -1}
+			for i, x := range walk {
+				if !usable(x) {
+					return res, fmt.Errorf("simnet: route for %d->%d crosses faulty node %d", v, dst, x)
+				}
+				p.path[i] = int32(x)
+			}
+			res.Injected++
+			enqueue(p)
+		}
+
+		// Transmission: one packet per directed link per cycle.
+		for v := 0; v < n; v++ {
+			for k := range queues[v] {
+				q := queues[v][k]
+				if len(q) == 0 {
+					continue
+				}
+				p := q[0]
+				if p.moved == int32(cycle) {
+					continue // enqueued here earlier this same cycle
+				}
+				queues[v][k] = q[1:]
+				p.idx++
+				p.moved = int32(cycle)
+				res.TotalHops++
+				if int(p.idx) == len(p.path)-1 {
+					res.Delivered++
+					deliveredHops += int(p.idx)
+					lat := cycle + 1 - int(p.injected)
+					totalLatency += lat
+					if lat > res.MaxLatency {
+						res.MaxLatency = lat
+					}
+					continue
+				}
+				enqueue(p)
+			}
+		}
+	}
+
+	for v := range queues {
+		for k := range queues[v] {
+			res.InFlight += len(queues[v][k])
+		}
+	}
+	if res.Delivered > 0 {
+		res.AvgLatency = float64(totalLatency) / float64(res.Delivered)
+		res.AvgHops = float64(deliveredHops) / float64(res.Delivered)
+	}
+	res.Throughput = float64(res.Delivered) / float64(cfg.Cycles)
+	return res, nil
+}

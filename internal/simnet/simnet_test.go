@@ -1,0 +1,265 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultroute"
+	"repro/internal/graph"
+	"repro/internal/hypercube"
+)
+
+func hbTopology(hb *core.HyperButterfly) Topology {
+	return Routed{Graph: hb, Route: hb.Route}
+}
+
+func TestConfigValidation(t *testing.T) {
+	top := hbTopology(core.MustNew(1, 3))
+	if _, err := Run(top, Config{Cycles: 0, Rate: 0.1}); err == nil {
+		t.Error("accepted zero cycles")
+	}
+	if _, err := Run(top, Config{Cycles: 10, Rate: -0.5}); err == nil {
+		t.Error("accepted negative rate")
+	}
+	if _, err := Run(top, Config{Cycles: 10, Rate: 2}); err == nil {
+		t.Error("accepted rate > 1")
+	}
+	if _, err := Run(top, Config{Cycles: 10, Rate: 0.1, Faulty: []bool{true}}); err == nil {
+		t.Error("accepted short fault mask")
+	}
+}
+
+// TestConservation: injected = delivered + in flight, and zero-rate runs
+// carry nothing.
+func TestConservation(t *testing.T) {
+	top := hbTopology(core.MustNew(2, 3))
+	res, err := Run(top, Config{Cycles: 300, Rate: 0.05, Pattern: Uniform, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected == 0 {
+		t.Fatal("nothing injected")
+	}
+	if res.Delivered+res.InFlight != res.Injected {
+		t.Fatalf("conservation violated: %d delivered + %d in flight != %d injected",
+			res.Delivered, res.InFlight, res.Injected)
+	}
+	empty, err := Run(top, Config{Cycles: 50, Rate: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Injected != 0 || empty.Delivered != 0 {
+		t.Fatalf("zero-rate run moved packets: %+v", empty)
+	}
+}
+
+// TestLatencyAtLeastDistance: with light load, average latency is at
+// least the average route length and every delivery takes at least one
+// cycle per hop.
+func TestLatencyAtLeastDistance(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	res, err := Run(hbTopology(hb), Config{Cycles: 500, Rate: 0.02, Pattern: Uniform, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.AvgLatency < res.AvgHops {
+		t.Fatalf("avg latency %.2f below avg hops %.2f", res.AvgLatency, res.AvgHops)
+	}
+	if res.MaxLatency < 1 {
+		t.Fatalf("max latency %d", res.MaxLatency)
+	}
+}
+
+// TestDeterminism: equal seeds give identical results; different seeds
+// almost surely differ.
+func TestDeterminism(t *testing.T) {
+	top := hbTopology(core.MustNew(1, 3))
+	cfg := Config{Cycles: 200, Rate: 0.1, Pattern: Uniform, Seed: 42}
+	a, err := Run(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 43
+	c, err := Run(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	top := hbTopology(core.MustNew(1, 3))
+	for _, p := range []Pattern{Uniform, Permutation, Reversal, HotSpot} {
+		res, err := Run(top, Config{Cycles: 300, Rate: 0.05, Pattern: p, Seed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Delivered == 0 {
+			t.Fatalf("%v: nothing delivered", p)
+		}
+	}
+	if Uniform.String() != "uniform" || Pattern(9).String() == "" {
+		t.Error("Pattern.String broken")
+	}
+}
+
+// TestHotSpotCongestion: a hotspot pattern must exhibit strictly worse
+// queueing than uniform traffic at the same rate.
+func TestHotSpotCongestion(t *testing.T) {
+	top := hbTopology(core.MustNew(2, 3))
+	uni, err := Run(top, Config{Cycles: 400, Rate: 0.05, Pattern: Uniform, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := Run(top, Config{Cycles: 400, Rate: 0.05, Pattern: HotSpot, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.AvgLatency <= uni.AvgLatency {
+		t.Fatalf("hotspot latency %.2f not worse than uniform %.2f", hot.AvgLatency, uni.AvgLatency)
+	}
+}
+
+// TestFaultyRun wires the fault-tolerant router into the simulator: all
+// traffic must avoid the faulty nodes and still be delivered.
+func TestFaultyRun(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	faults := []int{3, 17, 40, 77, 91}
+	r, err := faultroute.New(hb, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := make([]bool, hb.Order())
+	for _, f := range faults {
+		mask[f] = true
+	}
+	top := Routed{Graph: hb, Route: func(u, v int) []int {
+		p, err := r.Route(u, v)
+		if err != nil {
+			t.Fatalf("fault route %d->%d: %v", u, v, err)
+		}
+		return p
+	}}
+	res, err := Run(top, Config{Cycles: 300, Rate: 0.05, Pattern: Uniform, Seed: 9, Faulty: mask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered under faults")
+	}
+	if res.Delivered+res.InFlight != res.Injected {
+		t.Fatal("conservation violated under faults")
+	}
+}
+
+// TestOtherTopologies smoke-tests the adapters for the comparison
+// networks used by E-S1.
+func TestOtherTopologies(t *testing.T) {
+	cube := hypercube.MustNew(5)
+	res, err := Run(Routed{Graph: cube, Route: cube.Route},
+		Config{Cycles: 200, Rate: 0.1, Pattern: Uniform, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("hypercube: nothing delivered")
+	}
+	if res.AvgHops > float64(cube.DiameterFormula()) {
+		t.Fatalf("hypercube avg hops %.2f exceeds diameter", res.AvgHops)
+	}
+}
+
+// TestRouteValidationCatchesBadRouter ensures the simulator rejects
+// routes that do not use graph edges.
+func TestRouteValidationCatchesBadRouter(t *testing.T) {
+	cube := hypercube.MustNew(3)
+	bad := Routed{Graph: cube, Route: func(u, v int) []int { return []int{u, v} }}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-edge route not rejected")
+		}
+	}()
+	// Reversal guarantees a distance >= 2 pair eventually (0 -> 7 is
+	// distance 3 in H_3), so the bad route panics in outIndex.
+	if _, err := Run(bad, Config{Cycles: 50, Rate: 0.5, Pattern: Reversal, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ graph.Graph = Routed{} // Routed must remain a graph.Graph
+
+// TestAdaptiveBasics: the adaptive engine delivers, conserves packets,
+// and its hop counts equal exact distances under minimal candidates.
+func TestAdaptiveBasics(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	a := MinimalAdaptive(hb, hb.Distance)
+	res, err := RunAdaptive(a, Config{Cycles: 400, Rate: 0.05, Pattern: Uniform, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.Delivered+res.InFlight != res.Injected {
+		t.Fatalf("conservation violated: %+v", res)
+	}
+	if res.AvgLatency < res.AvgHops {
+		t.Fatalf("latency %.2f below hops %.2f", res.AvgLatency, res.AvgHops)
+	}
+	// Minimal adaptive routing takes exactly shortest paths, so average
+	// hops must not exceed the diameter.
+	if res.AvgHops > float64(hb.DiameterFormula()) {
+		t.Fatalf("avg hops %.2f exceeds diameter", res.AvgHops)
+	}
+}
+
+// TestAdaptiveValidation mirrors the config checks of Run.
+func TestAdaptiveValidation(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	a := MinimalAdaptive(hb, hb.Distance)
+	if _, err := RunAdaptive(a, Config{Cycles: 0, Rate: 0.1}); err == nil {
+		t.Error("accepted zero cycles")
+	}
+	if _, err := RunAdaptive(a, Config{Cycles: 10, Rate: 1.5}); err == nil {
+		t.Error("accepted rate > 1")
+	}
+	if _, err := RunAdaptive(a, Config{Cycles: 10, Rate: 0.1, Faulty: []bool{true}}); err == nil {
+		t.Error("accepted short fault mask")
+	}
+	// A candidate function with no progress must be rejected at run time.
+	stuck := Adaptive{Graph: hb, Candidates: func(cur, dst int) []int { return nil }}
+	if _, err := RunAdaptive(stuck, Config{Cycles: 50, Rate: 0.5, Pattern: Uniform, Seed: 1}); err == nil {
+		t.Error("accepted empty candidate sets")
+	}
+}
+
+// TestAdaptiveBeatsDeterministicUnderHotspot: the E-S2 claim — minimal
+// adaptive routing spreads hotspot congestion across the m+4 disjoint
+// directions and must not lose to deterministic source routing.
+func TestAdaptiveBeatsDeterministicUnderHotspot(t *testing.T) {
+	hb := core.MustNew(2, 4)
+	cfg := Config{Cycles: 600, Rate: 0.03, Pattern: HotSpot, Seed: 21}
+	det, err := Run(Routed{Graph: hb, Route: hb.Route}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ada, err := RunAdaptive(MinimalAdaptive(hb, hb.Distance), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ada.AvgLatency > det.AvgLatency {
+		t.Fatalf("adaptive latency %.2f worse than deterministic %.2f", ada.AvgLatency, det.AvgLatency)
+	}
+}

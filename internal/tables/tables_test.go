@@ -1,0 +1,108 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigure1SmallInstance regenerates Figure 1 at (m,n) = (2,3), where
+// every cell can be measured exactly, and checks measured == formula for
+// all four families.
+func TestFigure1SmallInstance(t *testing.T) {
+	rows := Figure1(2, 3, true)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Diameter != r.DiameterFormula {
+			t.Errorf("%s: diameter %d != formula %d", r.Name, r.Diameter, r.DiameterFormula)
+		}
+		if r.Connectivity != r.ConnectivityFormula {
+			t.Errorf("%s: connectivity %d != formula %d", r.Name, r.Connectivity, r.ConnectivityFormula)
+		}
+	}
+	// Spot-check the family invariants of the paper's table.
+	h, b, hd, hb := rows[0], rows[1], rows[2], rows[3]
+	if h.Nodes != 32 || h.DegreeMax != 5 {
+		t.Errorf("hypercube row: %+v", h)
+	}
+	if b.Nodes != 5*32 || b.DegreeMax != 4 {
+		t.Errorf("butterfly row: %+v", b)
+	}
+	if hd.Regular {
+		t.Error("HD must be irregular")
+	}
+	if hd.ConnectivityFormula != 4 { // m+2
+		t.Errorf("HD connectivity formula %d", hd.ConnectivityFormula)
+	}
+	if !hb.Regular || hb.DegreeMax != 6 || hb.ConnectivityFormula != 6 {
+		t.Errorf("HB row: %+v", hb)
+	}
+	// The headline: HB is regular AND maximally fault tolerant, HD is
+	// neither.
+	if hb.Connectivity != hb.DegreeMax {
+		t.Error("HB not maximally fault tolerant")
+	}
+	if hd.Connectivity == hd.DegreeMax {
+		t.Error("HD unexpectedly maximally fault tolerant")
+	}
+}
+
+// TestFigure2QuickMode regenerates Figure 2 with sampled connectivity
+// and formula diameters for the HD instances (exact mode is exercised by
+// cmd/hbtables and the benchmark harness).
+func TestFigure2QuickMode(t *testing.T) {
+	rows := Figure2(false)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	hb, hd1, hd2 := rows[0], rows[1], rows[2]
+	// All three instances accommodate the same number of nodes — the
+	// premise of the paper's comparison.
+	if hb.Nodes != 16384 || hd1.Nodes != 16384 || hd2.Nodes != 16384 {
+		t.Fatalf("node counts: %d %d %d", hb.Nodes, hd1.Nodes, hd2.Nodes)
+	}
+	if hb.Name != "Hyper-Butterfly HB(3,8)" {
+		t.Errorf("name %q", hb.Name)
+	}
+	// HB(3,8): degree 7, diameter 3+12=15, connectivity 7.
+	if hb.DegreeMax != 7 || hb.Diameter != 15 {
+		t.Errorf("HB(3,8): %+v", hb)
+	}
+	if hb.Connectivity != 7 {
+		t.Errorf("HB(3,8) sampled connectivity %d, want 7", hb.Connectivity)
+	}
+	// HD(3,11): degrees 5..7, diameter formula 14, fault tolerance 5.
+	if hd1.DegreeMin != 5 || hd1.DegreeMax != 7 || hd1.DiameterFormula != 14 {
+		t.Errorf("HD(3,11): %+v", hd1)
+	}
+	if hd1.Connectivity != 5 {
+		t.Errorf("HD(3,11) sampled connectivity %d, want 5", hd1.Connectivity)
+	}
+	// HD(6,8): degrees 8..10, diameter formula 14, fault tolerance 8.
+	if hd2.DegreeMin != 8 || hd2.DegreeMax != 10 {
+		t.Errorf("HD(6,8): %+v", hd2)
+	}
+	if hd2.Connectivity != 8 {
+		t.Errorf("HD(6,8) sampled connectivity %d, want 8", hd2.Connectivity)
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render("Figure 1 (m=2, n=3)", Figure1(2, 3, false))
+	for _, want := range []string{"Hyper-Butterfly HB(2,3)", "Fault-tolerance", "Nodes", "MISMATCH"} {
+		if want == "MISMATCH" {
+			if strings.Contains(out, want) {
+				t.Errorf("unexpected mismatch flag in output:\n%s", out)
+			}
+			continue
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	sym := Figure1Symbolic()
+	if !strings.Contains(sym, "n·2^(m+n)") || !strings.Contains(sym, "Fault-tolerance") {
+		t.Errorf("symbolic table malformed:\n%s", sym)
+	}
+}

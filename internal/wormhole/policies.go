@@ -1,0 +1,52 @@
+package wormhole
+
+import "repro/internal/core"
+
+// RingDateline returns a VC policy for a unidirectional ring of n
+// nodes routed clockwise: virtual channel 0 before the wrap-around edge
+// (n-1 -> 0), virtual channel 1 from the wrap onward. Two VCs suffice
+// to make the ring's channel dependency graph acyclic — the textbook
+// dateline argument, demonstrated by the tests.
+func RingDateline(n int) VCPolicy {
+	return func(hop, from, to, state int) (int, int) {
+		if from == n-1 && to == 0 {
+			state = 1
+		}
+		return state, state
+	}
+}
+
+// HBDateline returns the deadlock-avoiding policy for HB(m,n) routed by
+// the two-phase algorithm of Section 3: hypercube hops (naturally
+// ordered by e-cube dimension order) stay on VC 0; butterfly hops start
+// on VC 0 per direction and switch to VC 1 after crossing that
+// direction's dateline (the level-ring edge between permutation indices
+// n-1 and 0). A shortest butterfly walk crosses each direction's
+// dateline at most once, so VC 1 never wraps and each direction's
+// dependency chain is acyclic. Requires at least 2 VCs.
+//
+// State layout: bit 0 = crossed the clockwise dateline, bit 1 = crossed
+// the counter-clockwise dateline.
+func HBDateline(hb *core.HyperButterfly) VCPolicy {
+	n := hb.N()
+	bf := hb.Butterfly()
+	return func(hop, from, to, state int) (int, int) {
+		hu, bu := hb.Decode(from)
+		hv, bv := hb.Decode(to)
+		if bu == bv && hu != hv {
+			return 0, state // hypercube hop
+		}
+		pu, pv := bf.PI(bu), bf.PI(bv)
+		if pv == (pu+1)%n { // clockwise (g or f)
+			if pu == n-1 {
+				state |= 1
+			}
+			return state & 1, state
+		}
+		// counter-clockwise (g^-1 or f^-1)
+		if pu == 0 {
+			state |= 2
+		}
+		return (state >> 1) & 1, state
+	}
+}

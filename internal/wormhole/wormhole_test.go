@@ -1,0 +1,160 @@
+package wormhole
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// cwRing routes every packet clockwise on Ring{N: n}.
+func cwRingRoute(n int) func(u, v int) []int {
+	return func(u, v int) []int {
+		p := []int{u}
+		for cur := u; cur != v; {
+			cur = (cur + 1) % n
+			p = append(p, cur)
+		}
+		return p
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ring := graph.Ring{N: 6}
+	route := cwRingRoute(6)
+	bad := []Config{
+		{Cycles: 0, Rate: 0.1, PacketLen: 2, BufDepth: 1, VCs: 1, Policy: SingleVC, Route: route},
+		{Cycles: 10, Rate: -1, PacketLen: 2, BufDepth: 1, VCs: 1, Policy: SingleVC, Route: route},
+		{Cycles: 10, Rate: 0.1, PacketLen: 0, BufDepth: 1, VCs: 1, Policy: SingleVC, Route: route},
+		{Cycles: 10, Rate: 0.1, PacketLen: 2, BufDepth: 0, VCs: 1, Policy: SingleVC, Route: route},
+		{Cycles: 10, Rate: 0.1, PacketLen: 2, BufDepth: 1, VCs: 0, Policy: SingleVC, Route: route},
+		{Cycles: 10, Rate: 0.1, PacketLen: 2, BufDepth: 1, VCs: 1, Policy: nil, Route: route},
+		{Cycles: 10, Rate: 0.1, PacketLen: 2, BufDepth: 1, VCs: 1, Policy: SingleVC, Route: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(ring, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	// A policy returning an out-of-range VC must be rejected.
+	badVC := func(int, int, int, int) (int, int) { return 3, 0 }
+	if _, err := Run(ring, Config{Cycles: 50, Rate: 1, PacketLen: 2, BufDepth: 1, VCs: 2,
+		Policy: badVC, Route: route, Seed: 1}); err == nil {
+		t.Error("accepted out-of-range VC")
+	}
+}
+
+// TestLightLoadDelivers: with low load and long buffers nothing blocks.
+func TestLightLoadDelivers(t *testing.T) {
+	ring := graph.Ring{N: 8}
+	res, err := Run(ring, Config{
+		Cycles: 2000, Rate: 0.01, PacketLen: 3, BufDepth: 4, VCs: 1,
+		Policy: SingleVC, Route: cwRingRoute(8), Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("light load deadlocked")
+	}
+	if res.Delivered == 0 || res.Delivered+res.InFlight != res.Injected {
+		t.Fatalf("accounting: %+v", res)
+	}
+	// A worm of 3 flits over >= 1 hop takes at least PacketLen cycles.
+	if res.MaxLatency < 3 {
+		t.Fatalf("max latency %d too small", res.MaxLatency)
+	}
+}
+
+// TestRingSingleVCDeadlocks is the classical result: wormhole worms on
+// a single-VC ring under saturating load form a cyclic channel wait and
+// the network wedges.
+func TestRingSingleVCDeadlocks(t *testing.T) {
+	ring := graph.Ring{N: 8}
+	res, err := Run(ring, Config{
+		Cycles: 4000, Rate: 0.5, PacketLen: 4, BufDepth: 1, VCs: 1,
+		Policy: SingleVC, Route: cwRingRoute(8), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatalf("single-VC saturated ring did not deadlock: %+v", res)
+	}
+}
+
+// TestRingDatelineAvoidsDeadlock: the same load with two VCs and the
+// dateline discipline runs to completion.
+func TestRingDatelineAvoidsDeadlock(t *testing.T) {
+	ring := graph.Ring{N: 8}
+	res, err := Run(ring, Config{
+		Cycles: 4000, Rate: 0.5, PacketLen: 4, BufDepth: 1, VCs: 2,
+		Policy: RingDateline(8), Route: cwRingRoute(8), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatalf("dateline ring deadlocked at cycle %d", res.DeadCycle)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// TestHBDatelineHeavyLoad: HB(2,3) at saturating injection with the
+// two-phase route and the HB dateline policy stays deadlock-free.
+func TestHBDatelineHeavyLoad(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	res, err := Run(hb, Config{
+		Cycles: 3000, Rate: 0.3, PacketLen: 4, BufDepth: 1, VCs: 2,
+		Policy: HBDateline(hb), Route: hb.Route, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatalf("HB dateline deadlocked at cycle %d", res.DeadCycle)
+	}
+	if res.Delivered == 0 || res.Delivered+res.InFlight != res.Injected {
+		t.Fatalf("accounting: %+v", res)
+	}
+}
+
+// TestDeterminism: same seed, same outcome.
+func TestDeterminism(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	cfg := Config{
+		Cycles: 500, Rate: 0.1, PacketLen: 3, BufDepth: 2, VCs: 2,
+		Policy: HBDateline(hb), Route: hb.Route, Seed: 7,
+	}
+	a, err := Run(hb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(hb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestHBSingleVCDeadlocks: without virtual channels the butterfly
+// wrap-around rings inside HB(2,3) wedge under the same load that the
+// dateline policy survives — the pair of results that motivates
+// HBDateline.
+func TestHBSingleVCDeadlocks(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	res, err := Run(hb, Config{
+		Cycles: 3000, Rate: 0.3, PacketLen: 4, BufDepth: 1, VCs: 1,
+		Policy: SingleVC, Route: hb.Route, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatalf("single-VC HB did not deadlock: %+v", res)
+	}
+}
