@@ -18,29 +18,9 @@ func TestNewBounds(t *testing.T) {
 	}
 }
 
-func TestCountsMatchRemark1(t *testing.T) {
-	for n := 3; n <= 7; n++ {
-		b := MustNew(n)
-		d := graph.Build(b)
-		if d.Order() != n<<uint(n) {
-			t.Fatalf("n=%d: order %d", n, d.Order())
-		}
-		if d.EdgeCount() != b.EdgeCountFormula() {
-			t.Fatalf("n=%d: edges %d, want %d", n, d.EdgeCount(), b.EdgeCountFormula())
-		}
-		st := graph.Degrees(d)
-		if !st.Regular || st.Min != 4 {
-			t.Fatalf("n=%d: degrees %+v", n, st)
-		}
-		if err := graph.CheckUndirected(b); err != nil {
-			t.Fatalf("n=%d: %v", n, err)
-		}
-		// Remark 3: generators are fixed-point free with distinct images.
-		if err := graph.VerifyGeneratorAction(b, 4); err != nil {
-			t.Fatalf("n=%d: %v", n, err)
-		}
-	}
-}
+// Remark 1 counts, Remark 3 generator action, diameter and
+// connectivity formulas are asserted by the conformance suite in
+// conformance_test.go.
 
 func TestGeneratorInverses(t *testing.T) {
 	b := MustNew(5)
@@ -220,45 +200,8 @@ func isNeighbor(b *Butterfly, u, v Node) bool {
 	return false
 }
 
-func TestDiameterMatchesFormula(t *testing.T) {
-	for n := 3; n <= 8; n++ {
-		b := MustNew(n)
-		// Vertex-transitive: eccentricity of the identity is the diameter.
-		ecc, conn := graph.Eccentricity(b, b.Identity())
-		if !conn {
-			t.Fatalf("n=%d: disconnected", n)
-		}
-		if ecc != b.DiameterFormula() {
-			t.Fatalf("n=%d: diameter %d, formula %d", n, ecc, b.DiameterFormula())
-		}
-	}
-}
-
-func TestConnectivityIsFour(t *testing.T) {
-	for n := 3; n <= 5; n++ {
-		b := MustNew(n)
-		if got := graph.ConnectivityVertexTransitive(b.Dense()); got != 4 {
-			t.Fatalf("n=%d: connectivity %d", n, got)
-		}
-	}
-}
-
-func TestDisjointPaths(t *testing.T) {
+func TestDisjointPathsErrors(t *testing.T) {
 	b := MustNew(4)
-	rng := rand.New(rand.NewSource(4))
-	for trial := 0; trial < 300; trial++ {
-		u, v := rng.Intn(b.Order()), rng.Intn(b.Order())
-		if u == v {
-			continue
-		}
-		paths, err := b.DisjointPaths(u, v)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := graph.VerifyDisjointPaths(b, u, v, paths); err != nil {
-			t.Fatal(err)
-		}
-	}
 	if _, err := b.DisjointPaths(3, 3); err == nil {
 		t.Error("accepted equal endpoints")
 	}

@@ -1,0 +1,20 @@
+package butterfly_test
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+// TestConformance registers the wrapped butterfly B_n with the
+// repository-wide invariant suite: Remark 1 counts (n·2^n vertices,
+// n·2^(n+1) edges, 4-regular), Remark 3 generator action, diameter
+// ⌊3n/2⌋, connectivity 4, distance/route optimality vs BFS and the
+// four-path disjoint construction.
+func TestConformance(t *testing.T) {
+	conformance.Suite(t,
+		conformance.Butterfly(3),
+		conformance.Butterfly(4),
+		conformance.Butterfly(5),
+	)
+}

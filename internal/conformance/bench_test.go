@@ -1,0 +1,30 @@
+package conformance
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkConformanceSuite measures runner throughput on the full
+// HB(2,3) invariant set at workers=1 versus workers=GOMAXPROCS,
+// guarding the parallel speedup the worker pool exists for. Run with
+//
+//	go test -bench ConformanceSuite -benchtime 5x ./internal/conformance
+func BenchmarkConformanceSuite(b *testing.B) {
+	invs := DefaultInvariants()
+	counts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := Run([]Target{HyperButterfly(2, 3)}, invs, Options{Workers: workers})
+				if !rep.OK() {
+					b.Fatalf("failures: %v", rep.FailedNames())
+				}
+			}
+		})
+	}
+}

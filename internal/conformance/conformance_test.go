@@ -1,0 +1,172 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestSweepAllPass runs the full default matrix over the paper's small
+// instances: every registered invariant must pass (or be explicitly
+// skipped) on every family.
+func TestSweepAllPass(t *testing.T) {
+	targets, err := Sweep(1, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) == 0 {
+		t.Fatal("empty sweep")
+	}
+	rep := Run(targets, DefaultInvariants(), Options{})
+	if !rep.OK() {
+		t.Fatalf("failures: %v", rep.FailedNames())
+	}
+	if rep.Pass == 0 {
+		t.Fatal("no invariant actually ran")
+	}
+	// Every family must be present in the report.
+	seen := map[string]bool{}
+	for _, res := range rep.Results {
+		seen[res.Target[:strings.Index(res.Target, "(")]] = true
+	}
+	for _, fam := range []string{"H", "B", "D", "HD", "HB"} {
+		if !seen[fam] {
+			t.Errorf("family %s missing from sweep", fam)
+		}
+	}
+}
+
+// TestBrokenInvariantFails registers a deliberately broken invariant
+// and checks the runner reports it as a failure (and only it), proving
+// the harness can actually fail — the acceptance gate for CI trust.
+func TestBrokenInvariantFails(t *testing.T) {
+	invs := append(DefaultInvariants(), Invariant{
+		Name:    "deliberately-broken",
+		Applies: always,
+		Check: func(tg *Target, env *Env) error {
+			return errors.New("intentional failure for harness verification")
+		},
+	})
+	rep := Run([]Target{HyperButterfly(1, 3)}, invs, Options{})
+	if rep.OK() {
+		t.Fatal("report with broken invariant claims OK")
+	}
+	if rep.Fail != 1 {
+		t.Fatalf("fail count %d, want 1 (%v)", rep.Fail, rep.FailedNames())
+	}
+	want := "HB(1,3)/deliberately-broken"
+	if names := rep.FailedNames(); len(names) != 1 || names[0] != want {
+		t.Fatalf("failed names %v, want [%s]", names, want)
+	}
+}
+
+// TestPanickingInvariantIsFailure: a panic inside a check must become a
+// failure of that cell, not a crash of the run.
+func TestPanickingInvariantIsFailure(t *testing.T) {
+	invs := []Invariant{{
+		Name:    "panics",
+		Applies: always,
+		Check:   func(tg *Target, env *Env) error { panic("boom") },
+	}}
+	rep := Run([]Target{Hypercube(2)}, invs, Options{})
+	if rep.Fail != 1 || !strings.Contains(rep.Results[0].Detail, "boom") {
+		t.Fatalf("panic not converted to failure: %+v", rep.Results)
+	}
+}
+
+// TestParallelDeterminism: the canonical report is byte-identical for
+// workers=1, 2 and GOMAXPROCS — the runner's ordering and sampling must
+// not depend on scheduling.
+func TestParallelDeterminism(t *testing.T) {
+	targets, err := Sweep(1, 2, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Run(targets, DefaultInvariants(), Options{Workers: 1}).Canonical()
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		got := Run(targets, DefaultInvariants(), Options{Workers: workers}).Canonical()
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("canonical report differs between workers=1 and workers=%d:\n--- w1\n%s--- w%d\n%s",
+				workers, ref, workers, got)
+		}
+	}
+}
+
+// TestSkipsAreExplained: inapplicable invariants surface as skips with
+// a reason, never as silent passes.
+func TestSkipsAreExplained(t *testing.T) {
+	rep := Run([]Target{DeBruijn(3)}, DefaultInvariants(), Options{})
+	if !rep.OK() {
+		t.Fatalf("failures: %v", rep.FailedNames())
+	}
+	skips := map[string]string{}
+	for _, res := range rep.Results {
+		if res.Status == StatusSkip {
+			skips[res.Invariant] = res.Detail
+		}
+	}
+	for _, inv := range []string{"edge-count", "generator-action", "distance-vs-bfs", "route-optimal", "disjoint-paths", "fault-route"} {
+		if reason, ok := skips[inv]; !ok || reason == "" {
+			t.Errorf("invariant %s on D(3): want explained skip, got %q (present=%v)", inv, reason, ok)
+		}
+	}
+}
+
+// TestConnectivityCapSkips: the max-flow cap converts the connectivity
+// check into an explained skip on oversized targets.
+func TestConnectivityCapSkips(t *testing.T) {
+	rep := Run([]Target{HyperButterfly(2, 3)}, DefaultInvariants(), Options{MaxConnectivityOrder: 10})
+	for _, res := range rep.Results {
+		if res.Invariant == "connectivity" {
+			if res.Status != StatusSkip {
+				t.Fatalf("connectivity status %s, want skip", res.Status)
+			}
+			return
+		}
+	}
+	t.Fatal("connectivity cell missing")
+}
+
+// TestReportJSONRoundTrip: the JSON form CI consumes decodes back to
+// the same counters.
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := Run([]Target{Butterfly(3)}, DefaultInvariants(), Options{})
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Pass != rep.Pass || back.Fail != rep.Fail || back.Skip != rep.Skip || len(back.Results) != len(rep.Results) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, rep)
+	}
+}
+
+// TestWriteTextShowsFailures: the human rendering always surfaces
+// failing cells with their detail.
+func TestWriteTextShowsFailures(t *testing.T) {
+	invs := []Invariant{{
+		Name:    "bad",
+		Applies: always,
+		Check:   func(tg *Target, env *Env) error { return errors.New("detail-string") },
+	}}
+	rep := Run([]Target{Hypercube(2)}, invs, Options{})
+	var buf bytes.Buffer
+	rep.WriteText(&buf, false)
+	out := buf.String()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "detail-string") {
+		t.Fatalf("text report hides failure:\n%s", out)
+	}
+}
+
+// TestSweepRejectsEmptyRange guards the CLI flag parsing contract.
+func TestSweepRejectsEmptyRange(t *testing.T) {
+	if _, err := Sweep(2, 1, 3, 3); err == nil {
+		t.Fatal("accepted empty m range")
+	}
+}

@@ -1,0 +1,243 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes a conformance run. The zero value asks for sensible
+// defaults (GOMAXPROCS workers, moderate sampling, max-flow and
+// all-sources-BFS caps that keep single targets under a second).
+type Options struct {
+	// Workers is the size of the check worker pool; <= 0 means
+	// GOMAXPROCS. The report's canonical form does not depend on it.
+	Workers int
+	// MaxPairs caps sampled pairwise checks (disjoint paths, bounded
+	// routes); <= 0 means 48.
+	MaxPairs int
+	// MaxConnectivityOrder skips the max-flow connectivity invariant on
+	// targets with more vertices; <= 0 means 2048.
+	MaxConnectivityOrder int
+	// MaxDiameterOrder skips the all-sources diameter invariant on
+	// non-vertex-transitive targets with more vertices; <= 0 means 16384.
+	MaxDiameterOrder int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxPairs <= 0 {
+		o.MaxPairs = 48
+	}
+	if o.MaxConnectivityOrder <= 0 {
+		o.MaxConnectivityOrder = 2048
+	}
+	if o.MaxDiameterOrder <= 0 {
+		o.MaxDiameterOrder = 16384
+	}
+	return o
+}
+
+// Check outcome labels used in Result.Status.
+const (
+	StatusPass = "pass"
+	StatusFail = "fail"
+	StatusSkip = "skip"
+)
+
+// Result is the outcome of one (target, invariant) cell.
+type Result struct {
+	Target    string  `json:"target"`
+	Invariant string  `json:"invariant"`
+	Status    string  `json:"status"`
+	Detail    string  `json:"detail,omitempty"` // failure message or skip reason
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Report aggregates a full matrix run. Results are ordered
+// target-major, invariant-minor — the registration order — regardless
+// of how the worker pool interleaved execution.
+type Report struct {
+	Targets   int      `json:"targets"`
+	Pass      int      `json:"pass"`
+	Fail      int      `json:"fail"`
+	Skip      int      `json:"skip"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+	Results   []Result `json:"results"`
+}
+
+// OK reports whether no invariant failed.
+func (r *Report) OK() bool { return r.Fail == 0 }
+
+// JSON renders the full report (including timings) for machine
+// consumption by CI; see EXPERIMENTS.md E-CF for the contract.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Canonical renders the timing-free portion of the report: one line per
+// cell plus a summary. Two runs over the same targets and invariants
+// produce byte-identical output for any worker count, so CI can diff
+// canonical reports across commits.
+func (r *Report) Canonical() []byte {
+	var buf bytes.Buffer
+	for _, res := range r.Results {
+		fmt.Fprintf(&buf, "%s\t%s\t%s", res.Target, res.Invariant, res.Status)
+		if res.Detail != "" {
+			fmt.Fprintf(&buf, "\t%s", res.Detail)
+		}
+		buf.WriteByte('\n')
+	}
+	fmt.Fprintf(&buf, "targets=%d pass=%d fail=%d skip=%d\n", r.Targets, r.Pass, r.Fail, r.Skip)
+	return buf.Bytes()
+}
+
+// WriteText renders a human report: one block per target with
+// per-invariant status and timing; failures always print their detail.
+// With verbose unset, passing invariants are summarised per target.
+func (r *Report) WriteText(w io.Writer, verbose bool) {
+	byTarget := make(map[string][]Result)
+	var order []string
+	for _, res := range r.Results {
+		if _, seen := byTarget[res.Target]; !seen {
+			order = append(order, res.Target)
+		}
+		byTarget[res.Target] = append(byTarget[res.Target], res)
+	}
+	for _, name := range order {
+		cells := byTarget[name]
+		pass, fail, skip := 0, 0, 0
+		var ms float64
+		for _, c := range cells {
+			ms += c.ElapsedMS
+			switch c.Status {
+			case StatusPass:
+				pass++
+			case StatusFail:
+				fail++
+			default:
+				skip++
+			}
+		}
+		fmt.Fprintf(w, "%-10s pass=%d fail=%d skip=%d  %.1fms\n", name, pass, fail, skip, ms)
+		for _, c := range cells {
+			if c.Status == StatusFail {
+				fmt.Fprintf(w, "  FAIL %-18s %s\n", c.Invariant, c.Detail)
+			} else if verbose {
+				fmt.Fprintf(w, "  %-4s %-18s %.1fms", c.Status, c.Invariant, c.ElapsedMS)
+				if c.Detail != "" {
+					fmt.Fprintf(w, "  (%s)", c.Detail)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	fmt.Fprintf(w, "total: targets=%d pass=%d fail=%d skip=%d in %.1fms\n",
+		r.Targets, r.Pass, r.Fail, r.Skip, r.ElapsedMS)
+}
+
+// Run executes the full (targets x invariants) matrix on a worker pool
+// and returns the report. Every check is independent; shared per-target
+// state (the materialised adjacency) is built once under a sync.Once.
+// Check sampling is seeded per (target, invariant), so the canonical
+// report is identical for every worker count.
+func Run(targets []Target, invs []Invariant, opts Options) *Report {
+	opts = opts.withDefaults()
+	envs := make([]*Env, len(targets))
+	for i := range targets {
+		envs[i] = &Env{opts: opts, t: &targets[i]}
+	}
+	cells := len(targets) * len(invs)
+	results := make([]Result, cells)
+	workers := opts.Workers
+	if workers > cells {
+		workers = cells
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				job := int(atomic.AddInt64(&next, 1))
+				if job >= cells {
+					return
+				}
+				ti, ii := job/len(invs), job%len(invs)
+				t, inv := &targets[ti], &invs[ii]
+				res := Result{Target: t.Name, Invariant: inv.Name}
+				if reason := inv.Applies(t, opts); reason != "" {
+					res.Status = StatusSkip
+					res.Detail = reason
+				} else {
+					t0 := time.Now()
+					err := safeCheck(inv, t, envs[ti])
+					res.ElapsedMS = float64(time.Since(t0)) / float64(time.Millisecond)
+					if err != nil {
+						res.Status = StatusFail
+						res.Detail = err.Error()
+					} else {
+						res.Status = StatusPass
+					}
+				}
+				results[job] = res
+			}
+		}()
+	}
+	wg.Wait()
+	rep := &Report{
+		Targets:   len(targets),
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Results:   results,
+	}
+	for _, res := range results {
+		switch res.Status {
+		case StatusPass:
+			rep.Pass++
+		case StatusFail:
+			rep.Fail++
+		default:
+			rep.Skip++
+		}
+	}
+	return rep
+}
+
+// safeCheck converts a panicking invariant into a failure instead of
+// tearing down the whole run; constructive code in this repository
+// panics on internal inconsistencies and the harness must survive that
+// to report it.
+func safeCheck(inv *Invariant, t *Target, env *Env) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return inv.Check(t, env)
+}
+
+// FailedNames returns the sorted distinct "target/invariant" labels of
+// failing cells; convenient for terse CI summaries.
+func (r *Report) FailedNames() []string {
+	var out []string
+	for _, res := range r.Results {
+		if res.Status == StatusFail {
+			out = append(out, res.Target+"/"+res.Invariant)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

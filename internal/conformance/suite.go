@@ -1,0 +1,34 @@
+package conformance
+
+import "testing"
+
+// Suite runs every default invariant against each target and reports
+// failures through t — the one-line registration hook topology package
+// tests use instead of duplicating structural assertions. Skipped cells
+// are logged only under -v; failures carry the target, invariant and
+// detail.
+func Suite(t *testing.T, targets ...Target) {
+	t.Helper()
+	SuiteOptions(t, Options{}, targets...)
+}
+
+// SuiteOptions is Suite with explicit runner options (tests covering
+// large instances lower the sampling or connectivity caps).
+func SuiteOptions(t *testing.T, opts Options, targets ...Target) {
+	t.Helper()
+	rep := Run(targets, DefaultInvariants(), opts)
+	for _, res := range rep.Results {
+		switch res.Status {
+		case StatusFail:
+			t.Errorf("%s/%s: %s", res.Target, res.Invariant, res.Detail)
+		case StatusSkip:
+			if testing.Verbose() {
+				t.Logf("%s/%s: skipped (%s)", res.Target, res.Invariant, res.Detail)
+			}
+		}
+	}
+	if testing.Verbose() {
+		t.Logf("conformance: targets=%d pass=%d fail=%d skip=%d in %.1fms",
+			rep.Targets, rep.Pass, rep.Fail, rep.Skip, rep.ElapsedMS)
+	}
+}

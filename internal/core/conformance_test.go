@@ -1,0 +1,25 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+// TestConformance registers HB(m,n) with the repository-wide invariant
+// suite, covering the full claim set in one call: Theorem 2 counts and
+// regularity, Remark 3 generator action, Theorem 3 diameter, Theorem 5
+// / Corollary 1 connectivity and disjoint paths, Remark 8 distance,
+// claim R6 routing optimality and Remark 10 fault-tolerant delivery.
+func TestConformance(t *testing.T) {
+	targets := []conformance.Target{
+		conformance.HyperButterfly(0, 3), // degenerate: pure butterfly
+		conformance.HyperButterfly(1, 3),
+		conformance.HyperButterfly(2, 3),
+		conformance.HyperButterfly(2, 4),
+	}
+	if !testing.Short() {
+		targets = append(targets, conformance.HyperButterfly(3, 4))
+	}
+	conformance.Suite(t, targets...)
+}

@@ -24,29 +24,16 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
-// TestTheorem2 verifies order, regularity, degree and edge count for a
-// sweep of (m,n).
-func TestTheorem2(t *testing.T) {
+// Theorem 2 counts, Remark 3 generator action, the Theorem 3 diameter
+// and Remark 8 distance-vs-BFS agreement are asserted by the
+// conformance suite in conformance_test.go; the Order formula itself is
+// pure arithmetic and stays here.
+func TestTheorem2OrderFormula(t *testing.T) {
 	for m := 0; m <= 3; m++ {
 		for n := 3; n <= 5; n++ {
 			hb := MustNew(m, n)
 			if hb.Order() != n<<uint(m+n) {
 				t.Fatalf("HB(%d,%d): order %d, want %d", m, n, hb.Order(), n<<uint(m+n))
-			}
-			d := graph.Build(hb)
-			if d.EdgeCount() != hb.EdgeCountFormula() {
-				t.Fatalf("HB(%d,%d): edges %d, want %d", m, n, d.EdgeCount(), hb.EdgeCountFormula())
-			}
-			st := graph.Degrees(d)
-			if !st.Regular || st.Min != m+4 {
-				t.Fatalf("HB(%d,%d): degrees %+v", m, n, st)
-			}
-			if err := graph.CheckUndirected(hb); err != nil {
-				t.Fatalf("HB(%d,%d): %v", m, n, err)
-			}
-			// Remark 3: fixed-point free generators with distinct images.
-			if err := graph.VerifyGeneratorAction(hb, m+4); err != nil {
-				t.Fatalf("HB(%d,%d): %v", m, n, err)
 			}
 		}
 	}
@@ -106,33 +93,32 @@ func TestMoveString(t *testing.T) {
 	}
 }
 
-// TestRemark8Distance checks the distance decomposition against BFS.
-func TestRemark8Distance(t *testing.T) {
-	for _, dims := range [][2]int{{1, 3}, {2, 3}, {2, 4}} {
-		hb := MustNew(dims[0], dims[1])
-		for _, src := range []int{0, hb.Order() / 2, hb.Order() - 1} {
-			dist := graph.BFS(hb, src, nil)
-			for v := 0; v < hb.Order(); v++ {
-				if got := hb.Distance(src, v); got != int(dist[v]) {
-					t.Fatalf("HB%v: Distance(%d,%d) = %d, BFS %d", dims, src, v, got, dist[v])
-				}
-			}
-		}
-	}
-}
-
-// TestRemark6Routing checks that the two-phase route realises the
-// distance and is a valid path.
+// TestRemark6Routing (claim R6) checks exhaustively that the two-phase
+// route realises the shortest-path distance and is a valid path. The
+// HB(2,3) instance always runs; HB(3,3) rides along unless -short.
 func TestRemark6Routing(t *testing.T) {
-	hb := MustNew(2, 3)
-	for u := 0; u < hb.Order(); u += 3 {
-		for v := 0; v < hb.Order(); v++ {
-			p := hb.Route(u, v)
-			if len(p)-1 != hb.Distance(u, v) {
-				t.Fatalf("route %d->%d length %d, distance %d", u, v, len(p)-1, hb.Distance(u, v))
-			}
-			if err := graph.VerifyPath(hb, p); err != nil && u != v {
-				t.Fatalf("route %d->%d: %v", u, v, err)
+	sizes := []struct {
+		m, n   int
+		stride int
+	}{
+		{2, 3, 3},
+	}
+	if !testing.Short() {
+		sizes = append(sizes, struct{ m, n, stride int }{3, 3, 1})
+	}
+	for _, sz := range sizes {
+		hb := MustNew(sz.m, sz.n)
+		for u := 0; u < hb.Order(); u += sz.stride {
+			dist := graph.BFS(hb, u, nil)
+			for v := 0; v < hb.Order(); v++ {
+				p := hb.Route(u, v)
+				if len(p)-1 != int(dist[v]) {
+					t.Fatalf("HB(%d,%d): route %d->%d length %d, BFS distance %d",
+						sz.m, sz.n, u, v, len(p)-1, dist[v])
+				}
+				if err := graph.VerifyPath(hb, p); err != nil && u != v {
+					t.Fatalf("HB(%d,%d): route %d->%d: %v", sz.m, sz.n, u, v, err)
+				}
 			}
 		}
 	}
@@ -157,22 +143,16 @@ func TestRouteMovesRandomLarge(t *testing.T) {
 	}
 }
 
-// TestTheorem3Diameter verifies the diameter formula by BFS from the
-// identity (HB is vertex-transitive, Remark 7).
-func TestTheorem3Diameter(t *testing.T) {
-	for m := 0; m <= 3; m++ {
-		for n := 3; n <= 5; n++ {
+// TestTheorem3PaperFormula: for even n the measured formula m+⌊3n/2⌋
+// agrees with Theorem 3's printed m+⌈3n/2⌉ (the BFS ground truth is
+// asserted by the conformance suite's diameter invariant).
+func TestTheorem3PaperFormula(t *testing.T) {
+	for m := 0; m <= 4; m++ {
+		for n := 4; n <= 8; n += 2 {
 			hb := MustNew(m, n)
-			ecc, conn := graph.Eccentricity(hb, hb.Identity())
-			if !conn {
-				t.Fatalf("HB(%d,%d) disconnected", m, n)
-			}
-			if ecc != hb.DiameterFormula() {
-				t.Fatalf("HB(%d,%d): diameter %d, formula %d", m, n, ecc, hb.DiameterFormula())
-			}
-			// For even n the paper's printed formula agrees exactly.
-			if n%2 == 0 && ecc != hb.DiameterFormulaPaper() {
-				t.Fatalf("HB(%d,%d): diameter %d, paper formula %d", m, n, ecc, hb.DiameterFormulaPaper())
+			if hb.DiameterFormula() != hb.DiameterFormulaPaper() {
+				t.Fatalf("HB(%d,%d): formulas disagree for even n: %d vs %d",
+					m, n, hb.DiameterFormula(), hb.DiameterFormulaPaper())
 			}
 		}
 	}

@@ -117,16 +117,8 @@ func TestTheorem5LengthBounds(t *testing.T) {
 	}
 }
 
-// TestCorollary1Connectivity computes the vertex connectivity exactly.
-func TestCorollary1Connectivity(t *testing.T) {
-	for _, dims := range [][2]int{{0, 3}, {1, 3}, {2, 3}} {
-		hb := MustNew(dims[0], dims[1])
-		got := graph.ConnectivityVertexTransitive(hb.Dense())
-		if got != hb.ConnectivityFormula() {
-			t.Fatalf("HB%v: connectivity %d, want %d", dims, got, hb.ConnectivityFormula())
-		}
-	}
-}
+// Corollary 1 (vertex connectivity m+4, computed by max-flow) is
+// asserted by the conformance suite in conformance_test.go.
 
 func TestDisjointPathsErrors(t *testing.T) {
 	hb := MustNew(1, 3)

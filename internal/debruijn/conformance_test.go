@@ -1,0 +1,20 @@
+package debruijn_test
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+// TestConformance registers the de Bruijn graph D_n with the
+// repository-wide invariant suite. D_n claims irregular degrees [2,4],
+// diameter n, connectivity 2 and only n-bounded (non-optimal) routing —
+// the suite checks exactly that and skips the Cayley/optimality
+// invariants with an explanation.
+func TestConformance(t *testing.T) {
+	conformance.Suite(t,
+		conformance.DeBruijn(3),
+		conformance.DeBruijn(4),
+		conformance.DeBruijn(6),
+	)
+}

@@ -55,23 +55,8 @@ func TestStructure(t *testing.T) {
 	}
 }
 
-func TestDiameterMatchesFormula(t *testing.T) {
-	for n := 2; n <= 7; n++ {
-		g := MustNew(n)
-		if got := graph.Diameter(graph.Build(g)); got != n {
-			t.Fatalf("n=%d: diameter %d, want %d", n, got, n)
-		}
-	}
-}
-
-func TestConnectivityIsTwo(t *testing.T) {
-	for n := 3; n <= 6; n++ {
-		g := MustNew(n)
-		if got := graph.Connectivity(graph.Build(g)); got != 2 {
-			t.Fatalf("n=%d: connectivity %d, want 2", n, got)
-		}
-	}
-}
+// Diameter and connectivity formulas are asserted by the conformance
+// suite in conformance_test.go.
 
 // TestRouteValid checks that Route produces a genuine walk to the right
 // destination within the n-step bound, and that it never beats BFS.

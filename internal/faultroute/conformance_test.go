@@ -1,0 +1,43 @@
+package faultroute_test
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+// TestConformance exercises the Remark 10 fault-route invariant through
+// the shared suite: the HB targets carry a FaultRoute hook built on
+// this package's Router, and the engine injects random fault sets up to
+// the m+3 guarantee and verifies every delivered path is valid and
+// fault-free.
+func TestConformance(t *testing.T) {
+	conformance.Suite(t,
+		conformance.HyperButterfly(1, 3),
+		conformance.HyperButterfly(2, 3),
+		conformance.HyperButterfly(3, 3),
+	)
+}
+
+// TestFaultRouteInvariantCatchesViolations: a target whose router
+// reports a path through a fault must fail the fault-route invariant —
+// the harness notices a broken router, not just a missing one.
+func TestFaultRouteInvariantCatchesViolations(t *testing.T) {
+	target := conformance.HyperButterfly(1, 3)
+	good := target.FaultRoute
+	target.FaultRoute = func(faults []int, u, v int) ([]int, error) {
+		p, err := good(nil, u, v) // ignore the faults entirely
+		_ = faults
+		return p, err
+	}
+	rep := conformance.Run([]conformance.Target{target}, conformance.DefaultInvariants(), conformance.Options{})
+	for _, res := range rep.Results {
+		if res.Invariant == "fault-route" {
+			if res.Status != conformance.StatusFail {
+				t.Fatalf("fault-ignoring router passed the fault-route invariant: %+v", res)
+			}
+			return
+		}
+	}
+	t.Fatal("fault-route cell missing from report")
+}

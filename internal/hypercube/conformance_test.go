@@ -1,0 +1,20 @@
+package hypercube_test
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+// TestConformance registers H_m with the repository-wide invariant
+// suite: undirectedness, degree regularity, count formulas, generator
+// action, diameter m, connectivity m, distance/route optimality vs BFS
+// and disjoint-path validity are all asserted by the shared engine.
+func TestConformance(t *testing.T) {
+	conformance.Suite(t,
+		conformance.Hypercube(1),
+		conformance.Hypercube(2),
+		conformance.Hypercube(4),
+		conformance.Hypercube(6),
+	)
+}

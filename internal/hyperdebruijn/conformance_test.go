@@ -1,0 +1,20 @@
+package hyperdebruijn_test
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+// TestConformance registers HD(m,n) — the paper's comparison baseline —
+// with the repository-wide invariant suite: irregular degrees
+// [m+2, m+4] (the fault-tolerance ceiling of Figure 1), diameter m+n,
+// connectivity m+2 and (m+n)-bounded routing.
+func TestConformance(t *testing.T) {
+	conformance.Suite(t,
+		conformance.HyperDeBruijn(1, 3),
+		conformance.HyperDeBruijn(2, 3),
+		conformance.HyperDeBruijn(2, 4),
+		conformance.HyperDeBruijn(3, 5),
+	)
+}

@@ -1,7 +1,6 @@
 package hyperdebruijn
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/graph"
@@ -48,49 +47,9 @@ func TestStructure(t *testing.T) {
 	}
 }
 
-func TestDiameterMatchesFormula(t *testing.T) {
-	for m := 0; m <= 2; m++ {
-		for n := 3; n <= 5; n++ {
-			hd := MustNew(m, n)
-			if got := graph.Diameter(graph.Build(hd)); got != hd.DiameterFormula() {
-				t.Fatalf("HD(%d,%d): diameter %d, want %d", m, n, got, hd.DiameterFormula())
-			}
-		}
-	}
-}
-
-// TestConnectivity verifies the m+2 fault tolerance claim of Figure 1 —
-// the key weakness of HD versus HB.
-func TestConnectivity(t *testing.T) {
-	for _, dims := range [][2]int{{1, 3}, {2, 3}, {1, 4}} {
-		hd := MustNew(dims[0], dims[1])
-		got := graph.Connectivity(graph.Build(hd))
-		if got != hd.ConnectivityFormula() {
-			t.Fatalf("HD%v: connectivity %d, want %d", dims, got, hd.ConnectivityFormula())
-		}
-	}
-}
-
-func TestRouteValid(t *testing.T) {
-	hd := MustNew(2, 4)
-	d := graph.Build(hd)
-	rng := rand.New(rand.NewSource(24))
-	for trial := 0; trial < 2000; trial++ {
-		u, v := rng.Intn(hd.Order()), rng.Intn(hd.Order())
-		p := hd.Route(u, v)
-		if p[0] != u || p[len(p)-1] != v {
-			t.Fatalf("route %d->%d endpoints %v", u, v, p)
-		}
-		if len(p)-1 > hd.RouteLengthBound() {
-			t.Fatalf("route %d->%d length %d exceeds m+n", u, v, len(p)-1)
-		}
-		for i := 1; i < len(p); i++ {
-			if !d.HasEdge(p[i-1], p[i]) {
-				t.Fatalf("route %d->%d uses non-edge %d-%d", u, v, p[i-1], p[i])
-			}
-		}
-	}
-}
+// Diameter m+n, connectivity m+2 (the Figure 1 weakness of HD versus
+// HB) and the (m+n)-bounded route validity are asserted by the
+// conformance suite in conformance_test.go.
 
 func TestEncodeDecode(t *testing.T) {
 	hd := MustNew(3, 4)

@@ -109,7 +109,7 @@ func RunAdaptive(a Adaptive, cfg Config) (Result, error) {
 	totalLatency, deliveredHops := 0, 0
 	for cycle := 0; cycle < cfg.Cycles; cycle++ {
 		for v := 0; v < n; v++ {
-			if !usable(v) || rng.Float64() >= cfg.Rate {
+			if !cfg.injecting(cycle) || !usable(v) || rng.Float64() >= cfg.Rate {
 				continue
 			}
 			dst := destFor(cfg.Pattern, rng, perm, n, v)

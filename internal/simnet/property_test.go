@@ -1,0 +1,160 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/butterfly"
+	"repro/internal/core"
+)
+
+// Property tests for the minimal adaptive router: candidate sets are
+// exactly the distance-decreasing neighbors, so ANY per-hop choice
+// delivers in exactly the shortest-path distance — and the engine,
+// given a finite injection window, delivers every injected packet.
+
+// TestAdaptiveCandidatesStrictlyDecrease: for random (cur, dst) pairs
+// on HB(2,3), every MinimalAdaptive candidate is a real neighbor one
+// step closer to dst, and the set is non-empty whenever cur != dst.
+func TestAdaptiveCandidatesStrictlyDecrease(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	a := MinimalAdaptive(hb, hb.Distance)
+	d := hb.Dense()
+	f := func(x, y uint32) bool {
+		cur, dst := int(x)%hb.Order(), int(y)%hb.Order()
+		cands := a.Candidates(cur, dst)
+		if cur == dst {
+			return len(cands) == 0
+		}
+		if len(cands) == 0 {
+			return false
+		}
+		dc := hb.Distance(cur, dst)
+		for _, w := range cands {
+			if !d.HasEdge(cur, w) || hb.Distance(w, dst) != dc-1 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdaptiveWalkRealizesDistance: a walk that at every hop picks an
+// arbitrary (here: seeded random) candidate reaches the destination in
+// exactly Distance hops — the livelock-freedom argument for minimal
+// adaptive routing, exercised on both HB and the butterfly factor.
+func TestAdaptiveWalkRealizesDistance(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	bf := butterfly.MustNew(4)
+	tops := []struct {
+		name string
+		a    Adaptive
+		dist func(u, v int) int
+		n    int
+	}{
+		{"HB(2,3)", MinimalAdaptive(hb, hb.Distance), hb.Distance, hb.Order()},
+		{"B(4)", MinimalAdaptive(bf, bf.Distance), bf.Distance, bf.Order()},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range tops {
+		for trial := 0; trial < 500; trial++ {
+			u, v := rng.Intn(tc.n), rng.Intn(tc.n)
+			want := tc.dist(u, v)
+			cur, hops := u, 0
+			for cur != v {
+				cands := tc.a.Candidates(cur, v)
+				if len(cands) == 0 {
+					t.Fatalf("%s: no candidate from %d toward %d at hop %d", tc.name, cur, v, hops)
+				}
+				cur = cands[rng.Intn(len(cands))]
+				hops++
+				if hops > want {
+					t.Fatalf("%s: walk %d->%d exceeded distance %d", tc.name, u, v, want)
+				}
+			}
+			if hops != want {
+				t.Fatalf("%s: walk %d->%d took %d hops, distance %d", tc.name, u, v, hops, want)
+			}
+		}
+	}
+}
+
+// TestAdaptiveCompleteDelivery: with a finite injection window and a
+// drain period, the adaptive engine delivers every injected packet
+// (none lost, none stuck), and aggregate hop counts are consistent with
+// minimality: total hops of delivered packets can never be below the
+// number of packets (every source != destination) nor above
+// packets x diameter.
+func TestAdaptiveCompleteDelivery(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	a := MinimalAdaptive(hb, hb.Distance)
+	for _, pattern := range []Pattern{Uniform, Permutation, Reversal} {
+		res, err := RunAdaptive(a, Config{
+			Cycles:       2000,
+			InjectCycles: 25,
+			Rate:         0.4,
+			Pattern:      pattern,
+			Seed:         7,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", pattern, err)
+		}
+		if res.Injected == 0 {
+			t.Fatalf("%v: nothing injected", pattern)
+		}
+		if res.Delivered != res.Injected || res.InFlight != 0 {
+			t.Fatalf("%v: injected %d, delivered %d, in flight %d — want complete delivery",
+				pattern, res.Injected, res.Delivered, res.InFlight)
+		}
+		if res.AvgHops < 1 || res.AvgHops > float64(hb.DiameterFormula()) {
+			t.Fatalf("%v: average hops %.2f outside [1, diameter=%d]",
+				pattern, res.AvgHops, hb.DiameterFormula())
+		}
+		if res.MaxLatency < 1 {
+			t.Fatalf("%v: max latency %d", pattern, res.MaxLatency)
+		}
+	}
+}
+
+// TestInjectionWindowSourceRouted: the same window semantics hold for
+// the source-routed engine, so both simulators can assert loss-free
+// operation.
+func TestInjectionWindowSourceRouted(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	top := Routed{Graph: hb, Route: hb.Route}
+	res, err := Run(top, Config{Cycles: 2000, InjectCycles: 25, Rate: 0.4, Pattern: Uniform, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected == 0 || res.Delivered != res.Injected || res.InFlight != 0 {
+		t.Fatalf("injected %d, delivered %d, in flight %d — want complete delivery",
+			res.Injected, res.Delivered, res.InFlight)
+	}
+}
+
+// TestInjectCyclesZeroKeepsLegacyBehavior: InjectCycles=0 must inject
+// for the whole run (the pre-existing semantics every other test and
+// benchmark relies on).
+func TestInjectCyclesZeroKeepsLegacyBehavior(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	top := Routed{Graph: hb, Route: hb.Route}
+	with, err := Run(top, Config{Cycles: 50, Rate: 0.5, Pattern: Uniform, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Run(top, Config{Cycles: 50, InjectCycles: 50, Rate: 0.5, Pattern: Uniform, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Injected != explicit.Injected || with.Delivered != explicit.Delivered {
+		t.Fatalf("window == Cycles changed behavior: %+v vs %+v", with, explicit)
+	}
+	if with.Injected == 0 {
+		t.Fatal("nothing injected")
+	}
+}

@@ -71,9 +71,19 @@ func (p Pattern) String() string {
 type Config struct {
 	Cycles int     // simulated cycles
 	Rate   float64 // injection probability per node per cycle
+	// InjectCycles stops injection after this many cycles while the
+	// simulation keeps draining; 0 (or >= Cycles) injects throughout.
+	// A run with InjectCycles well below Cycles can assert complete
+	// delivery: Delivered == Injected and InFlight == 0.
+	InjectCycles int
 	Pattern
 	Seed   int64
 	Faulty []bool // nodes that neither inject nor relay (optional)
+}
+
+// injecting reports whether cycle is within the injection window.
+func (c Config) injecting(cycle int) bool {
+	return c.InjectCycles <= 0 || cycle < c.InjectCycles
 }
 
 // Result aggregates the run's metrics.
@@ -145,7 +155,7 @@ func Run(t Topology, cfg Config) (Result, error) {
 	for cycle := 0; cycle < cfg.Cycles; cycle++ {
 		// Injection.
 		for v := 0; v < n; v++ {
-			if !usable(v) || rng.Float64() >= cfg.Rate {
+			if !cfg.injecting(cycle) || !usable(v) || rng.Float64() >= cfg.Rate {
 				continue
 			}
 			dst := dest(v)
