@@ -1,0 +1,144 @@
+// Command hbd is the hyper-butterfly topology-query daemon: a
+// long-lived HTTP/JSON service answering routing questions that the
+// one-shot CLIs (hbnet, hbcheck) recompute from scratch per invocation.
+//
+//	hbd -addr :8080                          serve queries
+//	hbd -mode load -url http://127.0.0.1:8080 -m 2 -n 4 \
+//	    -qps 500 -duration 3s -out BENCH_serve.json     replay load mixes
+//
+// Endpoints (all GET, JSON responses):
+//
+//	/route?m=2&n=3&u=0&v=95        shortest route + generator sequence
+//	/paths?m=2&n=3&u=0&v=95        the m+4 disjoint paths (Theorem 5)
+//	/faultroute?...&faults=3,17    fault-avoiding route (Remark 10)
+//	/info?m=2&n=3                  order/edges/degree/diameter/connectivity
+//	/conformance?m=2&n=3           re-run the invariant registry
+//	/metrics                       Prometheus text exposition
+//	/healthz                       liveness
+//
+// /route and /paths responses are cached and byte-identical for
+// identical queries. SIGINT/SIGTERM drain in-flight requests before
+// exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/hbserve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hbd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "serve", "serve | load")
+	addr := fs.String("addr", ":8080", "serve: listen address")
+	poolMax := fs.Int("pool", 0, "serve: max resident HB instances (0 = default)")
+	cacheSize := fs.Int("cache", 0, "serve: route-cache entries (0 = default, -1 disables)")
+	shards := fs.Int("shards", 0, "serve: route-cache shards (0 = default)")
+	maxOrder := fs.Int("maxorder", 0, "serve: max nodes per instance (0 = default)")
+	grace := fs.Duration("grace", 10*time.Second, "serve: shutdown drain budget")
+
+	url := fs.String("url", "http://127.0.0.1:8080", "load: target base URL")
+	m := fs.Int("m", 2, "load: hypercube dimension")
+	n := fs.Int("n", 4, "load: butterfly dimension")
+	qps := fs.Int("qps", 500, "load: target request rate per mix")
+	duration := fs.Duration("duration", 3*time.Second, "load: measured window per mix")
+	workers := fs.Int("workers", 32, "load: concurrent requesters")
+	seed := fs.Int64("seed", 1, "load: rng seed")
+	endpoints := fs.String("endpoints", "route", "load: comma-separated endpoints (route,paths)")
+	mixes := fs.String("mixes", "uniform,permutation", "load: comma-separated mixes")
+	out := fs.String("out", "BENCH_serve.json", "load: report path")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch *mode {
+	case "serve":
+		srv := hbserve.NewServer(hbserve.Config{
+			PoolMax:    *poolMax,
+			MaxOrder:   *maxOrder,
+			CacheSize:  *cacheSize,
+			CacheShard: *shards,
+		})
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		fmt.Fprintf(stdout, "hbd: serving on %s (SIGTERM drains in-flight requests)\n", *addr)
+		if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil {
+			fmt.Fprintf(stderr, "hbd: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "hbd: drained cleanly")
+		return 0
+
+	case "load":
+		rep := &hbserve.BenchReport{M: *m, N: *n}
+		for _, ep := range splitList(*endpoints) {
+			for _, mix := range splitList(*mixes) {
+				res, err := hbserve.Load(hbserve.LoadConfig{
+					BaseURL:  *url,
+					M:        *m,
+					N:        *n,
+					Endpoint: ep,
+					Mix:      mix,
+					QPS:      *qps,
+					Duration: *duration,
+					Workers:  *workers,
+					Seed:     *seed,
+				})
+				if err != nil {
+					fmt.Fprintf(stderr, "hbd: load %s/%s: %v\n", ep, mix, err)
+					return 1
+				}
+				rep.Results = append(rep.Results, res)
+				fmt.Fprintf(stdout, "hbd: %-6s %-12s %6d req  %8.1f qps  p50 %.3fms  p99 %.3fms  non-2xx %d\n",
+					ep, mix, res.Requests, res.AchievedQPS, res.LatencyMS.P50, res.LatencyMS.P99, res.Non2xx)
+			}
+		}
+		if err := rep.ScrapeCacheStats(*url); err != nil {
+			fmt.Fprintf(stderr, "hbd: metrics scrape: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "hbd: cache hits=%d misses=%d dedups=%d hit-rate=%.1f%%\n",
+			rep.Cache.Hits, rep.Cache.Misses, rep.Cache.Dedups, 100*rep.Cache.HitRate)
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintf(stderr, "hbd: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "hbd: wrote %s\n", *out)
+		if rep.TotalNon2xx() > 0 {
+			fmt.Fprintf(stderr, "hbd: %d non-2xx responses\n", rep.TotalNon2xx())
+			return 1
+		}
+		return 0
+
+	default:
+		fmt.Fprintf(stderr, "hbd: unknown mode %q (want serve or load)\n", *mode)
+		return 2
+	}
+}
+
+// splitList splits a comma-separated flag, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hbserve"
+)
+
+func TestUnknownMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown mode") {
+		t.Errorf("stderr %q", errb.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-qps", "many"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"route", []string{"route"}},
+		{"route,paths", []string{"route", "paths"}},
+		{"a,,b,", []string{"a", "b"}},
+		{"", nil},
+	} {
+		if got := splitList(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestLoadModeEndToEnd boots the server in-process and points load mode
+// at it — the same sequence as the CI smoke, compressed.
+func TestLoadModeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed load run in -short")
+	}
+	srv := hbserve.NewServer(hbserve.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln, 5*time.Second) }()
+
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-mode", "load",
+		"-url", "http://" + ln.Addr().String(),
+		"-m", "1", "-n", "3",
+		"-qps", "300", "-duration", "300ms", "-workers", "8",
+		"-endpoints", "route,paths", "-mixes", "permutation",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wrote "+out) {
+		t.Errorf("stdout %q", stdout.String())
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -9,11 +9,16 @@
 //	hbnet -m 3 -n 4 embed tree               verified Section 4 embeddings
 //	hbnet -m 2 -n 3 decompose                Remark 5 partitions
 //	hbnet -m 2 -n 4 cut                      constructive bisections (VLSI)
+//
+// Exit status: 0 on success, 1 on a verification or construction
+// failure, 2 on a usage error (unknown command, malformed or
+// out-of-range arguments).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -25,138 +30,237 @@ import (
 )
 
 func main() {
-	m := flag.Int("m", 2, "hypercube dimension")
-	n := flag.Int("n", 3, "butterfly dimension")
-	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// usageError marks bad invocations (exit 2, usage printed); every other
+// error exits 1.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hbnet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	m := fs.Int("m", 2, "hypercube dimension")
+	n := fs.Int("n", 3, "butterfly dimension")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	err := dispatch(*m, *n, fs.Args(), stdout)
+	if err == nil {
+		return 0
+	}
+	fmt.Fprintln(stderr, "hbnet:", err)
+	if _, ok := err.(*usageError); ok {
+		usage(stderr)
+		return 2
+	}
+	return 1
+}
 
-	hb, err := core.New(*m, *n)
-	fail(err)
-
-	switch args[0] {
+func dispatch(m, n int, args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return usagef("missing command")
+	}
+	hb, err := core.New(m, n)
+	if err != nil {
+		return err
+	}
+	switch cmd := args[0]; cmd {
 	case "info":
-		info(hb)
+		info(w, hb)
+		return nil
 	case "verify":
-		verify(hb)
+		return verify(w, hb)
 	case "label":
-		v := parseNode(hb, args, 1)
-		fmt.Printf("node %d = %s  (PI=%d CI=%d)\n", v, hb.VertexLabel(v),
+		v, err := parseNode(hb, args, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "node %d = %s  (PI=%d CI=%d)\n", v, hb.VertexLabel(v),
 			hb.Butterfly().PI(nodeB(hb, v)), hb.Butterfly().CI(nodeB(hb, v)))
+		return nil
 	case "route":
-		u, v := parseNode(hb, args, 1), parseNode(hb, args, 2)
-		route(hb, u, v)
+		u, err := parseNode(hb, args, 1)
+		if err != nil {
+			return err
+		}
+		v, err := parseNode(hb, args, 2)
+		if err != nil {
+			return err
+		}
+		route(w, hb, u, v)
+		return nil
 	case "paths":
-		u, v := parseNode(hb, args, 1), parseNode(hb, args, 2)
-		paths(hb, u, v)
+		u, err := parseNode(hb, args, 1)
+		if err != nil {
+			return err
+		}
+		v, err := parseNode(hb, args, 2)
+		if err != nil {
+			return err
+		}
+		return paths(w, hb, u, v)
 	case "broadcast":
-		src := parseNode(hb, args, 1)
+		src, err := parseNode(hb, args, 1)
+		if err != nil {
+			return err
+		}
 		res, _, err := broadcast.TwoPhase(hb, src)
-		fail(err)
-		fmt.Printf("two-phase broadcast from %s: %d rounds (diameter %d), %d messages, %d nodes reached\n",
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "two-phase broadcast from %s: %d rounds (diameter %d), %d messages, %d nodes reached\n",
 			hb.VertexLabel(src), res.Rounds, hb.DiameterFormula(), res.Messages, res.Reached)
+		return nil
 	case "embed":
-		doEmbed(hb, args)
+		return doEmbed(w, hb, args)
 	case "decompose":
-		decompose(hb)
+		decompose(w, hb)
+		return nil
 	case "cut":
-		cuts(hb)
+		return cuts(w, hb)
 	default:
-		usage()
+		return usagef("unknown command %q", cmd)
 	}
 }
 
 // doEmbed runs one of the Section 4 embeddings and verifies it.
-func doEmbed(hb *core.HyperButterfly, args []string) {
+func doEmbed(w io.Writer, hb *core.HyperButterfly, args []string) error {
 	if len(args) < 2 {
-		usage()
+		return usagef("embed needs a kind: cycle, torus, tree or meshoftrees")
 	}
-	switch args[1] {
+	switch kind := args[1]; kind {
 	case "cycle":
-		k := parseInt(args, 2)
+		k, err := parseInt(args, 2, "cycle length")
+		if err != nil {
+			return err
+		}
 		cyc, err := embed.EvenCycle(hb, k)
-		fail(err)
-		fail(graph.VerifyCycle(hb, cyc))
-		fmt.Printf("even cycle C(%d) embedded and verified (Lemma 2)\n", k)
+		if err != nil {
+			return err
+		}
+		if err := graph.VerifyCycle(hb, cyc); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "even cycle C(%d) embedded and verified (Lemma 2)\n", k)
 	case "torus":
-		n1, k := parseInt(args, 2), parseInt(args, 3)
+		n1, err := parseInt(args, 2, "torus dimension n1")
+		if err != nil {
+			return err
+		}
+		k, err := parseInt(args, 3, "torus multiplier k")
+		if err != nil {
+			return err
+		}
 		tor, phi, err := embed.TorusKN(hb, n1, k)
-		fail(err)
-		fail(graph.VerifyEmbedding(tor, hb, phi))
-		fmt.Printf("torus M(%d,%d) embedded and verified\n", tor.N1, tor.N2)
+		if err != nil {
+			return err
+		}
+		if err := graph.VerifyEmbedding(tor, hb, phi); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "torus M(%d,%d) embedded and verified\n", tor.N1, tor.N2)
 	case "tree":
 		levels, phi, err := embed.BinaryTree(hb)
-		fail(err)
-		fail(graph.VerifyEmbedding(graph.CompleteBinaryTree{Levels: levels}, hb, phi))
-		fmt.Printf("complete binary tree T(%d) embedded and verified; root %s\n",
+		if err != nil {
+			return err
+		}
+		if err := graph.VerifyEmbedding(graph.CompleteBinaryTree{Levels: levels}, hb, phi); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "complete binary tree T(%d) embedded and verified; root %s\n",
 			levels, hb.VertexLabel(phi[0]))
 	case "meshoftrees":
-		p, q := parseInt(args, 2), parseInt(args, 3)
+		p, err := parseInt(args, 2, "mesh exponent p")
+		if err != nil {
+			return err
+		}
+		q, err := parseInt(args, 3, "mesh exponent q")
+		if err != nil {
+			return err
+		}
 		mt, phi, err := embed.MeshOfTrees(hb, p, q)
-		fail(err)
-		fail(graph.VerifyEmbedding(mt, hb, phi))
-		fmt.Printf("mesh of trees MT(2^%d, 2^%d) embedded and verified (Theorem 4)\n", p, q)
+		if err != nil {
+			return err
+		}
+		if err := graph.VerifyEmbedding(mt, hb, phi); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "mesh of trees MT(2^%d, 2^%d) embedded and verified (Theorem 4)\n", p, q)
 	default:
-		usage()
+		return usagef("unknown embedding %q", kind)
 	}
+	return nil
 }
 
 // decompose prints the Remark 5 partitions.
-func decompose(hb *core.HyperButterfly) {
+func decompose(w io.Writer, hb *core.HyperButterfly) {
 	cubes := hb.HypercubePartition()
 	bfs := hb.ButterflyPartition()
-	fmt.Printf("Remark 5 decompositions of HB(%d,%d):\n", hb.M(), hb.N())
-	fmt.Printf("  %d disjoint sub-hypercubes H_%d (one per butterfly label), e.g. labels of (H_m, identity):\n",
+	fmt.Fprintf(w, "Remark 5 decompositions of HB(%d,%d):\n", hb.M(), hb.N())
+	fmt.Fprintf(w, "  %d disjoint sub-hypercubes H_%d (one per butterfly label), e.g. labels of (H_m, identity):\n",
 		len(cubes), hb.M())
 	for _, v := range cubes[hb.Butterfly().Identity()] {
-		fmt.Printf("    %s\n", hb.VertexLabel(v))
+		fmt.Fprintf(w, "    %s\n", hb.VertexLabel(v))
 	}
-	fmt.Printf("  %d disjoint sub-butterflies B_%d (one per hypercube label); (0…0, B_n) has %d nodes\n",
+	fmt.Fprintf(w, "  %d disjoint sub-butterflies B_%d (one per hypercube label); (0…0, B_n) has %d nodes\n",
 		len(bfs), hb.N(), len(bfs[0]))
 }
 
 // cuts prints the constructive bisections of the layout module.
-func cuts(hb *core.HyperButterfly) {
-	fmt.Printf("constructive bisections of HB(%d,%d) (VLSI layout bounds):\n", hb.M(), hb.N())
+func cuts(w io.Writer, hb *core.HyperButterfly) error {
+	fmt.Fprintf(w, "constructive bisections of HB(%d,%d) (VLSI layout bounds):\n", hb.M(), hb.N())
 	if hb.M() > 0 {
 		c, err := layout.HypercubeDimCut(hb, 0)
-		fail(err)
-		fmt.Printf("  hypercube dimension cut: %d/%d nodes, %d crossing edges (formula %d)\n",
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  hypercube dimension cut: %d/%d nodes, %d crossing edges (formula %d)\n",
 			c.SizeA, c.SizeB, c.CrossEdges, layout.DimCutWidthFormula(hb.M(), hb.N()))
 	}
 	c, err := layout.ButterflyLevelCut(hb)
-	fail(err)
-	fmt.Printf("  butterfly level cut:     %d/%d nodes, %d crossing edges", c.SizeA, c.SizeB, c.CrossEdges)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  butterfly level cut:     %d/%d nodes, %d crossing edges", c.SizeA, c.SizeB, c.CrossEdges)
 	if hb.N()%2 == 0 {
-		fmt.Printf(" (formula %d)", layout.LevelCutWidthFormula(hb.M(), hb.N()))
+		fmt.Fprintf(w, " (formula %d)", layout.LevelCutWidthFormula(hb.M(), hb.N()))
 	}
-	fmt.Println()
-	if w, name, err := layout.BisectionUpperBound(hb); err == nil {
-		fmt.Printf("  bisection width <= %d via %s\n", w, name)
+	fmt.Fprintln(w)
+	if width, name, err := layout.BisectionUpperBound(hb); err == nil {
+		fmt.Fprintf(w, "  bisection width <= %d via %s\n", width, name)
 	}
+	return nil
 }
 
-func parseInt(args []string, i int) int {
+// parseInt reads a required integer argument; what names it in errors.
+func parseInt(args []string, i int, what string) (int, error) {
 	if i >= len(args) {
-		usage()
+		return 0, usagef("missing %s argument", what)
 	}
 	v, err := strconv.Atoi(args[i])
-	fail(err)
-	return v
+	if err != nil {
+		return 0, usagef("%s %q is not an integer", what, args[i])
+	}
+	return v, nil
 }
 
-func info(hb *core.HyperButterfly) {
-	fmt.Printf("HB(%d,%d)\n", hb.M(), hb.N())
-	fmt.Printf("  nodes            %d  (n·2^(m+n))\n", hb.Order())
-	fmt.Printf("  edges            %d  ((m+4)·n·2^(m+n-1))\n", hb.EdgeCountFormula())
-	fmt.Printf("  degree           %d  (m+4, regular Cayley graph)\n", hb.Degree())
-	fmt.Printf("  diameter         %d  (m+floor(3n/2))\n", hb.DiameterFormula())
-	fmt.Printf("  fault tolerance  %d  (m+4, maximal)\n", hb.ConnectivityFormula())
+func info(w io.Writer, hb *core.HyperButterfly) {
+	fmt.Fprintf(w, "HB(%d,%d)\n", hb.M(), hb.N())
+	fmt.Fprintf(w, "  nodes            %d  (n·2^(m+n))\n", hb.Order())
+	fmt.Fprintf(w, "  edges            %d  ((m+4)·n·2^(m+n-1))\n", hb.EdgeCountFormula())
+	fmt.Fprintf(w, "  degree           %d  (m+4, regular Cayley graph)\n", hb.Degree())
+	fmt.Fprintf(w, "  diameter         %d  (m+floor(3n/2))\n", hb.DiameterFormula())
+	fmt.Fprintf(w, "  fault tolerance  %d  (m+4, maximal)\n", hb.ConnectivityFormula())
 }
 
-func verify(hb *core.HyperButterfly) {
+func verify(w io.Writer, hb *core.HyperButterfly) error {
 	d := hb.Dense()
 	ok := true
 	check := func(name string, got, want int) {
@@ -165,9 +269,9 @@ func verify(hb *core.HyperButterfly) {
 			status = "MISMATCH"
 			ok = false
 		}
-		fmt.Printf("  %-28s measured %-8d expected %-8d %s\n", name, got, want, status)
+		fmt.Fprintf(w, "  %-28s measured %-8d expected %-8d %s\n", name, got, want, status)
 	}
-	fmt.Printf("verifying HB(%d,%d) against the paper:\n", hb.M(), hb.N())
+	fmt.Fprintf(w, "verifying HB(%d,%d) against the paper:\n", hb.M(), hb.N())
 	check("nodes (Theorem 2)", d.Order(), hb.Order())
 	check("edges (Theorem 2)", d.EdgeCount(), hb.EdgeCountFormula())
 	st := graph.Degrees(d)
@@ -178,41 +282,45 @@ func verify(hb *core.HyperButterfly) {
 	if d.Order() <= 8192 {
 		check("connectivity (Corollary 1)", graph.ConnectivityVertexTransitive(d), hb.ConnectivityFormula())
 	} else {
-		fmt.Println("  connectivity: instance too large for exact max-flow sweep; see tests for exact small-instance verification")
+		fmt.Fprintln(w, "  connectivity: instance too large for exact max-flow sweep; see tests for exact small-instance verification")
 	}
 	if !ok {
-		os.Exit(1)
+		return fmt.Errorf("verification found mismatches")
 	}
+	return nil
 }
 
-func route(hb *core.HyperButterfly, u, v int) {
-	fmt.Printf("route %s -> %s (distance %d):\n", hb.VertexLabel(u), hb.VertexLabel(v), hb.Distance(u, v))
+func route(w io.Writer, hb *core.HyperButterfly, u, v int) {
+	fmt.Fprintf(w, "route %s -> %s (distance %d):\n", hb.VertexLabel(u), hb.VertexLabel(v), hb.Distance(u, v))
 	moves := hb.RouteMoves(u, v)
 	cur := u
-	fmt.Printf("  %s\n", hb.VertexLabel(cur))
+	fmt.Fprintf(w, "  %s\n", hb.VertexLabel(cur))
 	for _, mv := range moves {
 		cur = hb.Apply(mv, cur)
-		fmt.Printf("  --%-3s--> %s\n", mv, hb.VertexLabel(cur))
+		fmt.Fprintf(w, "  --%-3s--> %s\n", mv, hb.VertexLabel(cur))
 	}
 }
 
-func paths(hb *core.HyperButterfly, u, v int) {
+func paths(w io.Writer, hb *core.HyperButterfly, u, v int) error {
 	ps, err := hb.DisjointPaths(u, v)
-	fail(err)
-	if err := graph.VerifyDisjointPaths(hb, u, v, ps); err != nil {
-		fail(err)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("%d internally vertex-disjoint paths %d -> %d (Theorem 5), verified:\n", len(ps), u, v)
+	if err := graph.VerifyDisjointPaths(hb, u, v, ps); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d internally vertex-disjoint paths %d -> %d (Theorem 5), verified:\n", len(ps), u, v)
 	for i, p := range ps {
-		fmt.Printf("  path %2d (length %2d): ", i+1, len(p)-1)
+		fmt.Fprintf(w, "  path %2d (length %2d): ", i+1, len(p)-1)
 		for j, x := range p {
 			if j > 0 {
-				fmt.Print(" ")
+				fmt.Fprint(w, " ")
 			}
-			fmt.Print(x)
+			fmt.Fprint(w, x)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
+	return nil
 }
 
 func nodeB(hb *core.HyperButterfly, v int) int {
@@ -220,27 +328,25 @@ func nodeB(hb *core.HyperButterfly, v int) int {
 	return b
 }
 
-func parseNode(hb *core.HyperButterfly, args []string, i int) int {
+// parseNode reads a required node-id argument, rejecting non-integers
+// and out-of-range ids with a usage error instead of a raw strconv or
+// index failure.
+func parseNode(hb *core.HyperButterfly, args []string, i int) (int, error) {
 	if i >= len(args) {
-		usage()
+		return 0, usagef("missing node-id argument")
 	}
 	v, err := strconv.Atoi(args[i])
-	fail(err)
-	if v < 0 || v >= hb.Order() {
-		fail(fmt.Errorf("node %d out of range [0,%d)", v, hb.Order()))
-	}
-	return v
-}
-
-func fail(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hbnet:", err)
-		os.Exit(1)
+		return 0, usagef("node id %q is not an integer", args[i])
 	}
+	if !hb.ValidNode(v) {
+		return 0, usagef("node %d out of range [0,%d) for HB(%d,%d)", v, hb.Order(), hb.M(), hb.N())
+	}
+	return v, nil
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hbnet [-m M] [-n N] <command>
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: hbnet [-m M] [-n N] <command>
 commands:
   info                network parameters
   verify              re-verify the paper's theorems on this instance
@@ -254,5 +360,4 @@ commands:
   embed meshoftrees <p> <q>  embed + verify MT(2^p, 2^q) (Theorem 4)
   decompose           Remark 5 partitions
   cut                 constructive bisections (VLSI bounds)`)
-	os.Exit(2)
 }

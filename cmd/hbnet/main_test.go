@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUnknownCommand(t *testing.T) {
+	code, _, stderr := runCmd(t, "-m", "2", "-n", "3", "frobnicate")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown command "frobnicate"`) || !strings.Contains(stderr, "usage: hbnet") {
+		t.Errorf("stderr %q", stderr)
+	}
+}
+
+func TestMissingCommand(t *testing.T) {
+	code, _, stderr := runCmd(t)
+	if code != 2 || !strings.Contains(stderr, "missing command") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestMalformedNodeID(t *testing.T) {
+	for _, args := range [][]string{
+		{"route", "zero", "5"},
+		{"route", "0", "5x"},
+		{"label", "abc"},
+		{"broadcast", "1.5"},
+	} {
+		code, _, stderr := runCmd(t, append([]string{"-m", "2", "-n", "3"}, args...)...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
+		if !strings.Contains(stderr, "is not an integer") {
+			t.Errorf("%v: stderr %q lacks a parse message", args, stderr)
+		}
+	}
+}
+
+func TestOutOfRangeNodeID(t *testing.T) {
+	code, _, stderr := runCmd(t, "-m", "2", "-n", "3", "route", "0", "96")
+	if code != 2 || !strings.Contains(stderr, "out of range [0,96)") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	code, _, stderr = runCmd(t, "-m", "2", "-n", "3", "paths", "-1", "5")
+	if code != 2 || !strings.Contains(stderr, "out of range") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestMissingArguments(t *testing.T) {
+	code, _, stderr := runCmd(t, "-m", "2", "-n", "3", "route", "0")
+	if code != 2 || !strings.Contains(stderr, "missing node-id") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	code, _, stderr = runCmd(t, "-m", "2", "-n", "3", "embed")
+	if code != 2 || !strings.Contains(stderr, "embed needs a kind") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	code, _, stderr = runCmd(t, "-m", "2", "-n", "3", "embed", "cycle", "six")
+	if code != 2 || !strings.Contains(stderr, "cycle length") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestHappyPaths(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-m", "2", "-n", "3", "info")
+	if code != 0 || stderr != "" {
+		t.Fatalf("info: exit %d stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "HB(2,3)") || !strings.Contains(stdout, "nodes            96") {
+		t.Errorf("info output %q", stdout)
+	}
+
+	code, stdout, _ = runCmd(t, "-m", "2", "-n", "3", "route", "0", "95")
+	if code != 0 || !strings.Contains(stdout, "route (00;") {
+		t.Errorf("route: exit %d output %q", code, stdout)
+	}
+
+	code, stdout, _ = runCmd(t, "-m", "2", "-n", "3", "paths", "0", "77")
+	if code != 0 || !strings.Contains(stdout, "6 internally vertex-disjoint paths") {
+		t.Errorf("paths: exit %d output %q", code, stdout)
+	}
+
+	code, stdout, _ = runCmd(t, "-m", "1", "-n", "3", "label", "17")
+	if code != 0 || !strings.Contains(stdout, "node 17 = ") {
+		t.Errorf("label: exit %d output %q", code, stdout)
+	}
+}
+
+func TestBadDimensions(t *testing.T) {
+	code, _, stderr := runCmd(t, "-m", "2", "-n", "2", "info")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (construction error, not usage)", code)
+	}
+	if strings.Contains(stderr, "usage:") {
+		t.Errorf("construction errors should not print usage: %q", stderr)
+	}
+}

@@ -168,3 +168,78 @@ func TestScan(t *testing.T) {
 		t.Error("accepted short values")
 	}
 }
+
+// TestSmallestLegalInstances runs every collective on the two boundary
+// instances the constructors admit: HB(0,3) — the degenerate m=0 case,
+// where the network is B_3 itself and recursive doubling contributes
+// zero rounds — and HB(1,3), the smallest instance the paper considers
+// (m >= 1).
+func TestSmallestLegalInstances(t *testing.T) {
+	for _, dims := range [][2]int{{0, 3}, {1, 3}} {
+		hb := core.MustNew(dims[0], dims[1])
+		vals, sum, max := randomValues(hb.Order(), 77)
+		root := hb.Identity()
+
+		got, st, err := Reduce(hb, root, vals, Sum)
+		if err != nil || got != sum {
+			t.Fatalf("HB%v reduce: %d want %d err %v", dims, got, sum, err)
+		}
+		if st.Messages != hb.Order()-1 {
+			t.Errorf("HB%v reduce messages %d, want %d", dims, st.Messages, hb.Order()-1)
+		}
+
+		if _, _, err := Gather(hb, root, vals); err != nil {
+			t.Fatalf("HB%v gather: %v", dims, err)
+		}
+
+		ar, st, err := AllReduceHB(hb, vals, Max)
+		if err != nil || ar != max {
+			t.Fatalf("HB%v all-reduce: %d want %d err %v", dims, ar, max, err)
+		}
+		wantRounds := dims[0] + 2*hb.Butterfly().DiameterFormula()
+		if st.Rounds != wantRounds {
+			t.Errorf("HB%v all-reduce rounds %d, want m+2*floor(3n/2) = %d", dims, st.Rounds, wantRounds)
+		}
+
+		if _, err := Barrier(hb); err != nil {
+			t.Fatalf("HB%v barrier: %v", dims, err)
+		}
+
+		prefix, preorder, _, err := Scan(hb, root, vals, Sum)
+		if err != nil {
+			t.Fatalf("HB%v scan: %v", dims, err)
+		}
+		if last := preorder[len(preorder)-1]; prefix[last] != sum {
+			t.Errorf("HB%v scan total %d, want %d", dims, prefix[last], sum)
+		}
+	}
+}
+
+// TestMismatchedParticipants exercises the error path of every
+// collective when the value set does not match the node set — both too
+// few and too many participants must be rejected, never silently
+// truncated or padded.
+func TestMismatchedParticipants(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	for _, bad := range [][]int64{
+		make([]int64, hb.Order()-1),
+		make([]int64, hb.Order()+1),
+		nil,
+	} {
+		if _, _, err := Reduce(hb, 0, bad, Sum); err == nil {
+			t.Errorf("Reduce accepted %d values for %d nodes", len(bad), hb.Order())
+		}
+		if _, _, err := Gather(hb, 0, bad); err == nil {
+			t.Errorf("Gather accepted %d values for %d nodes", len(bad), hb.Order())
+		}
+		if _, _, err := AllReduceTree(hb, 0, bad, Sum); err == nil {
+			t.Errorf("AllReduceTree accepted %d values for %d nodes", len(bad), hb.Order())
+		}
+		if _, _, err := AllReduceHB(hb, bad, Sum); err == nil {
+			t.Errorf("AllReduceHB accepted %d values for %d nodes", len(bad), hb.Order())
+		}
+		if _, _, _, err := Scan(hb, 0, bad, Sum); err == nil {
+			t.Errorf("Scan accepted %d values for %d nodes", len(bad), hb.Order())
+		}
+	}
+}

@@ -169,7 +169,15 @@ func HyperDeBruijn(m, n int) Target {
 // Corollary 1 connectivity and disjoint paths, R6 optimal routing and
 // Remark 10 fault-tolerant delivery.
 func HyperButterfly(m, n int) Target {
-	hb := core.MustNew(m, n)
+	return HyperButterflyInstance(core.MustNew(m, n))
+}
+
+// HyperButterflyInstance is HyperButterfly for a prebuilt instance, so
+// long-lived callers (the hbd /conformance endpoint) share the
+// instance — and its lazily materialised dense adjacency — with their
+// other query paths instead of reconstructing per request.
+func HyperButterflyInstance(hb *core.HyperButterfly) Target {
+	m, n := hb.M(), hb.N()
 	return Target{
 		Name:             fmt.Sprintf("HB(%d,%d)", m, n),
 		Graph:            hb,
@@ -188,11 +196,8 @@ func HyperButterfly(m, n int) Target {
 		DisjointPaths:    hb.DisjointPaths,
 		PathCount:        hb.Degree(),
 		FaultRoute: func(faults []int, u, v int) ([]int, error) {
-			r, err := faultroute.New(hb, faults)
-			if err != nil {
-				return nil, err
-			}
-			return r.Route(u, v)
+			path, _, err := faultroute.Route(hb, faults, u, v)
+			return path, err
 		},
 		MaxFaults: hb.M() + 3,
 		Seed:      int64(503*m + 17*n),

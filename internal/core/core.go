@@ -101,6 +101,11 @@ func (hb *HyperButterfly) DiameterFormulaPaper() int { return hb.m + (3*hb.N()+1
 // ConnectivityFormula returns m+4 (Corollary 1).
 func (hb *HyperButterfly) ConnectivityFormula() int { return hb.m + 4 }
 
+// ValidNode reports whether v is a node id of this instance. Long-lived
+// callers (cmd/hbnet, the hbd query service) validate untrusted ids with
+// this before handing them to Route/Apply, which panic on bad labels.
+func (hb *HyperButterfly) ValidNode(v Node) bool { return v >= 0 && v < hb.Order() }
+
 // Encode assembles a node id from a hypercube part h and a butterfly
 // part b.
 func (hb *HyperButterfly) Encode(h int, b butterfly.Node) Node {

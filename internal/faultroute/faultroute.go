@@ -19,6 +19,7 @@ type Router struct {
 	hb     *core.HyperButterfly
 	faulty []bool
 	nfault int
+	last   string // strategy of the most recent successful Route
 
 	// Stats counts which strategy satisfied each Route call; useful for
 	// the E-R10 experiment.
@@ -44,6 +45,27 @@ func New(hb *core.HyperButterfly, faults []core.Node) (*Router, error) {
 	}
 	return r, nil
 }
+
+// Route is the one-shot form of Router.Route for callers that bring a
+// fresh fault set per query (the conformance harness, the hbd
+// /faultroute endpoint): build a router, route once, report the
+// strategy that delivered.
+func Route(hb *core.HyperButterfly, faults []core.Node, u, v core.Node) ([]core.Node, string, error) {
+	r, err := New(hb, faults)
+	if err != nil {
+		return nil, "", err
+	}
+	path, err := r.Route(u, v)
+	if err != nil {
+		return nil, "", err
+	}
+	return path, r.LastStrategy(), nil
+}
+
+// LastStrategy names the strategy that satisfied the most recent
+// successful Route call ("optimal", "greedy", "disjoint", "bfs", or ""
+// before any call).
+func (r *Router) LastStrategy() string { return r.last }
 
 // FaultCount returns the number of distinct faulty nodes.
 func (r *Router) FaultCount() int { return r.nfault }
@@ -85,26 +107,31 @@ func (r *Router) Route(u, v core.Node) ([]core.Node, error) {
 		return nil, fmt.Errorf("faultroute: endpoint faulty (u=%v, v=%v)", r.faulty[u], r.faulty[v])
 	}
 	if u == v {
+		r.last = "optimal"
 		return []core.Node{u}, nil
 	}
 	if p := r.hb.Route(u, v); r.pathClear(p) {
 		r.Stats.Optimal++
+		r.last = "optimal"
 		return p, nil
 	}
 	if p, ok := r.greedy(u, v); ok {
 		r.Stats.Greedy++
+		r.last = "greedy"
 		return p, nil
 	}
 	if paths, err := r.hb.DisjointPaths(u, v); err == nil {
 		for _, p := range paths {
 			if r.pathClear(p) {
 				r.Stats.Disjoint++
+				r.last = "disjoint"
 				return p, nil
 			}
 		}
 	}
 	if p := graph.BFSPath(r.hb, u, v, r.faulty); p != nil {
 		r.Stats.BFS++
+		r.last = "bfs"
 		return p, nil
 	}
 	return nil, fmt.Errorf("faultroute: %d faults disconnect %d from %d", r.nfault, u, v)

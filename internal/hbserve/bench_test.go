@@ -1,0 +1,97 @@
+package hbserve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Serving-hot-path benchmarks (EXPERIMENTS.md E-SV): the cache in
+// isolation and the full handler stack. Future PRs regress against
+// these before touching the serving path.
+
+func BenchmarkRouteCache(b *testing.B) {
+	hb := core.MustNew(2, 4)
+	compute := func(u, v int) func() ([]byte, error) {
+		return func() ([]byte, error) {
+			return marshalBody(routeResponse{U: u, V: v, Path: hb.Route(u, v)})
+		}
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		c := NewRouteCache(1024, 0)
+		key := cacheKey("route", Dims{M: 2, N: 4}, 0, 200)
+		c.GetOrCompute(key, compute(0, 200))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.GetOrCompute(key, compute(0, 200))
+		}
+	})
+
+	b.Run("miss", func(b *testing.B) {
+		c := NewRouteCache(1024, 0)
+		order := hb.Order()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Distinct key per iteration: every lookup computes.
+			u, v := i%order, (i*7+1)%order
+			if u == v {
+				v = (v + 1) % order
+			}
+			c.GetOrCompute(fmt.Sprintf("bench|%d|%d|%d", i, u, v), compute(u, v))
+		}
+	})
+
+	b.Run("concurrent-singleflight", func(b *testing.B) {
+		// All goroutines hammer one hot key: first computes, rest either
+		// coalesce onto the flight or hit.
+		c := NewRouteCache(1024, 0)
+		key := cacheKey("route", Dims{M: 2, N: 4}, 3, 100)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.GetOrCompute(key, compute(3, 100))
+			}
+		})
+	})
+}
+
+func BenchmarkHandlerRoute(b *testing.B) {
+	s := NewServer(Config{})
+	handler := s.Handler()
+
+	b.Run("warm", func(b *testing.B) {
+		req := httptest.NewRequest(http.MethodGet, "/route?m=2&n=4&u=0&v=200", nil)
+		handler.ServeHTTP(httptest.NewRecorder(), req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := httptest.NewRecorder()
+			handler.ServeHTTP(w, req)
+			if w.Code != 200 {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+
+	b.Run("cold", func(b *testing.B) {
+		// CacheSize -1 disables memoisation: every request renders.
+		cold := NewServer(Config{CacheSize: -1}).Handler()
+		req := httptest.NewRequest(http.MethodGet, "/route?m=2&n=4&u=0&v=200", nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := httptest.NewRecorder()
+			cold.ServeHTTP(w, req)
+			if w.Code != 200 {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+}

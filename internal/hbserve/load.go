@@ -1,0 +1,263 @@
+package hbserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The load generator replays query mixes against a running hbd and
+// records the serving-performance baseline (EXPERIMENTS.md E-SV). Two
+// mixes mirror simnet's traffic patterns at the serving layer:
+//
+//   - uniform: every request draws a fresh random (u,v) pair, so the
+//     route cache sees mostly misses on large instances — the cold-path
+//     number;
+//   - permutation: a fixed random permutation pairs each node with one
+//     destination and requests cycle through those pairs, so after one
+//     lap every request is a cache hit — the warm-path number.
+//
+// Pacing is open-loop at a target QPS (a ticker dispatches to a bounded
+// worker pool), which is what exposes queueing once the service
+// saturates; latencies are measured per request and reported as
+// percentiles.
+
+// LoadConfig parameterises one load run.
+type LoadConfig struct {
+	BaseURL  string        // e.g. http://127.0.0.1:8080
+	M, N     int           // instance to query
+	Endpoint string        // "route" or "paths"
+	Mix      string        // "uniform" or "permutation"
+	QPS      int           // target request rate
+	Duration time.Duration // measured window
+	Workers  int           // concurrent requesters; <= 0 means 32
+	Seed     int64
+}
+
+// LoadResult is the measured outcome of one (endpoint, mix) run.
+type LoadResult struct {
+	Endpoint    string  `json:"endpoint"`
+	Mix         string  `json:"mix"`
+	TargetQPS   int     `json:"target_qps"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int     `json:"requests"`
+	Non2xx      int     `json:"non_2xx"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	LatencyMS   struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+}
+
+// Load runs one configured mix to completion.
+func Load(cfg LoadConfig) (LoadResult, error) {
+	res := LoadResult{
+		Endpoint:    cfg.Endpoint,
+		Mix:         cfg.Mix,
+		TargetQPS:   cfg.QPS,
+		DurationSec: cfg.Duration.Seconds(),
+	}
+	if cfg.QPS <= 0 || cfg.Duration <= 0 {
+		return res, fmt.Errorf("hbserve: load needs positive qps and duration")
+	}
+	order, err := orderOf(Dims{M: cfg.M, N: cfg.N})
+	if err != nil {
+		return res, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 32
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perm := rng.Perm(order)
+	next := makePairSource(cfg.Mix, rng, perm, order)
+	if next == nil {
+		return res, fmt.Errorf("hbserve: unknown mix %q (want uniform or permutation)", cfg.Mix)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		non2xx    atomic.Int64
+		wg        sync.WaitGroup
+	)
+	jobs := make(chan [2]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pair := range jobs {
+				url := fmt.Sprintf("%s/%s?m=%d&n=%d&u=%d&v=%d",
+					strings.TrimRight(cfg.BaseURL, "/"), cfg.Endpoint, cfg.M, cfg.N, pair[0], pair[1])
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				lat := time.Since(t0)
+				if err != nil {
+					non2xx.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode/100 != 2 {
+					non2xx.Add(1)
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	interval := time.Second / time.Duration(cfg.QPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	deadline := time.Now().Add(cfg.Duration)
+	sent := 0
+	// Pair generation happens on the dispatch goroutine so the rng needs
+	// no lock; a full jobs channel sheds load (open-loop: the tick is
+	// dropped, not queued without bound).
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		select {
+		case jobs <- next():
+			sent++
+		default:
+		}
+	}
+	ticker.Stop()
+	close(jobs)
+	wg.Wait()
+
+	res.Requests = len(latencies) + int(non2xx.Load())
+	res.Non2xx = int(non2xx.Load())
+	res.AchievedQPS = float64(res.Requests) / cfg.Duration.Seconds()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if len(latencies) > 0 {
+		res.LatencyMS.P50 = ms(percentile(latencies, 0.50))
+		res.LatencyMS.P90 = ms(percentile(latencies, 0.90))
+		res.LatencyMS.P99 = ms(percentile(latencies, 0.99))
+		res.LatencyMS.Max = ms(latencies[len(latencies)-1])
+	}
+	return res, nil
+}
+
+// makePairSource returns a generator of (u,v) query pairs for the mix;
+// nil for an unknown mix.
+func makePairSource(mix string, rng *rand.Rand, perm []int, order int) func() [2]int {
+	switch mix {
+	case "uniform":
+		return func() [2]int {
+			u := rng.Intn(order)
+			v := rng.Intn(order)
+			for v == u {
+				v = rng.Intn(order)
+			}
+			return [2]int{u, v}
+		}
+	case "permutation":
+		i := 0
+		return func() [2]int {
+			u := i % order
+			i++
+			v := perm[u]
+			if v == u { // a fixed point would query u==u; pair it onward
+				v = perm[(u+1)%order]
+			}
+			return [2]int{u, v}
+		}
+	}
+	return nil
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// BenchReport is the serialised BENCH_serve.json: the load-generator
+// baseline plus the cache counters scraped from /metrics after the run.
+type BenchReport struct {
+	M       int          `json:"m"`
+	N       int          `json:"n"`
+	Results []LoadResult `json:"results"`
+	Cache   struct {
+		Hits    uint64  `json:"hits"`
+		Misses  uint64  `json:"misses"`
+		Dedups  uint64  `json:"dedups"`
+		HitRate float64 `json:"hit_rate"`
+	} `json:"cache"`
+}
+
+// TotalNon2xx sums error responses across all runs; the CI smoke gates
+// on it being zero.
+func (b *BenchReport) TotalNon2xx() int {
+	total := 0
+	for _, r := range b.Results {
+		total += r.Non2xx
+	}
+	return total
+}
+
+// ScrapeCacheStats fetches baseURL/metrics and fills b.Cache from the
+// hbd_route_cache_* families.
+func (b *BenchReport) ScrapeCacheStats(baseURL string) error {
+	resp, err := http.Get(strings.TrimRight(baseURL, "/") + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		var target *uint64
+		switch {
+		case strings.HasPrefix(line, "hbd_route_cache_hits_total "):
+			target = &b.Cache.Hits
+		case strings.HasPrefix(line, "hbd_route_cache_misses_total "):
+			target = &b.Cache.Misses
+		case strings.HasPrefix(line, "hbd_route_cache_dedup_total "):
+			target = &b.Cache.Dedups
+		default:
+			continue
+		}
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", target); err != nil {
+			return fmt.Errorf("hbserve: bad metrics line %q: %w", line, err)
+		}
+	}
+	if total := b.Cache.Hits + b.Cache.Misses; total > 0 {
+		b.Cache.HitRate = float64(b.Cache.Hits) / float64(total)
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (b *BenchReport) WriteFile(path string) error {
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,108 @@
+package hbserve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestLoadAgainstLiveServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed load run in -short")
+	}
+	s := NewServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rep := &BenchReport{M: 1, N: 3}
+	for _, mix := range []string{"uniform", "permutation"} {
+		res, err := Load(LoadConfig{
+			BaseURL:  ts.URL,
+			M:        1,
+			N:        3,
+			Endpoint: "route",
+			Mix:      mix,
+			QPS:      400,
+			Duration: 500 * time.Millisecond,
+			Workers:  8,
+			Seed:     1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mix, err)
+		}
+		if res.Requests == 0 {
+			t.Fatalf("%s: no requests completed", mix)
+		}
+		if res.Non2xx != 0 {
+			t.Fatalf("%s: %d non-2xx responses", mix, res.Non2xx)
+		}
+		if res.LatencyMS.P50 <= 0 || res.LatencyMS.P99 < res.LatencyMS.P50 {
+			t.Errorf("%s: implausible percentiles %+v", mix, res.LatencyMS)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+
+	// HB(1,3) has 48 nodes: both mixes together far exceed the distinct
+	// pair count, so the cache must be taking hits by now.
+	if err := rep.ScrapeCacheStats(ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache.Hits == 0 {
+		t.Error("no cache hits after repeated mixes on a 48-node instance")
+	}
+	if rep.Cache.HitRate <= 0 {
+		t.Errorf("hit rate %v", rep.Cache.HitRate)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Results) != 2 || back.TotalNon2xx() != 0 {
+		t.Errorf("round-tripped report %+v", back)
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	if _, err := Load(LoadConfig{QPS: 0, Duration: time.Second}); err == nil {
+		t.Error("accepted qps=0")
+	}
+	if _, err := Load(LoadConfig{QPS: 10, Duration: time.Second, M: 2, N: 3, Mix: "nope", BaseURL: "http://x"}); err == nil {
+		t.Error("accepted unknown mix")
+	}
+	if _, err := Load(LoadConfig{QPS: 10, Duration: time.Second, M: 1, N: 2, Mix: "uniform", BaseURL: "http://x"}); err == nil {
+		t.Error("accepted invalid dims")
+	}
+}
+
+func TestPairSources(t *testing.T) {
+	order := 48
+	perm := make([]int, order)
+	for i := range perm {
+		perm[i] = (i + 7) % order
+	}
+	next := makePairSource("permutation", nil, perm, order)
+	seen := map[[2]int]bool{}
+	for i := 0; i < 2*order; i++ {
+		p := next()
+		if p[0] == p[1] {
+			t.Fatalf("self pair %v", p)
+		}
+		seen[p] = true
+	}
+	// The second lap repeats the first: exactly `order` distinct pairs.
+	if len(seen) != order {
+		t.Errorf("permutation mix produced %d distinct pairs, want %d", len(seen), order)
+	}
+}

@@ -1,0 +1,126 @@
+package hbserve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Dims keys one HB(m,n) instance.
+type Dims struct {
+	M int
+	N int
+}
+
+func (d Dims) String() string { return fmt.Sprintf("HB(%d,%d)", d.M, d.N) }
+
+// Pool is a bounded, lazily-filled cache of constructed HB(m,n)
+// instances. Construction is cheap (labels only — the dense adjacency
+// is built lazily by core on demand), but instances pin memory once
+// their adjacency or route caches warm up, so the pool evicts the
+// least-recently-used instance beyond Max. A per-entry sync.Once keeps
+// concurrent first requests for the same dims from building twice, and
+// the pool lock is never held across construction.
+type Pool struct {
+	// Max is the instance cap; <= 0 means DefaultPoolMax.
+	Max int
+	// MaxOrder rejects dimensions whose node count exceeds it, bounding
+	// the memory a single query can pin; <= 0 means DefaultMaxOrder.
+	MaxOrder int
+
+	mu      sync.Mutex
+	entries map[Dims]*poolEntry
+	lru     *list.List // front = most recently used; values are Dims
+
+	evictions uint64
+}
+
+// DefaultPoolMax bounds the number of live instances.
+const DefaultPoolMax = 8
+
+// DefaultMaxOrder caps the size of a single instance: HB(3,8) — the
+// paper's own large example, 16384 nodes — fits with headroom.
+const DefaultMaxOrder = 1 << 17
+
+type poolEntry struct {
+	once sync.Once
+	hb   *core.HyperButterfly
+	err  error
+	elem *list.Element
+}
+
+// Get returns the HB(d.M, d.N) instance, constructing it on first use
+// and bumping its recency. Safe for concurrent use.
+func (p *Pool) Get(d Dims) (*core.HyperButterfly, error) {
+	maxOrder := p.MaxOrder
+	if maxOrder <= 0 {
+		maxOrder = DefaultMaxOrder
+	}
+	if order, err := orderOf(d); err != nil {
+		return nil, err
+	} else if order > maxOrder {
+		return nil, fmt.Errorf("hbserve: %v has %d nodes, over the service cap %d", d, order, maxOrder)
+	}
+
+	p.mu.Lock()
+	if p.entries == nil {
+		p.entries = make(map[Dims]*poolEntry)
+		p.lru = list.New()
+	}
+	e, ok := p.entries[d]
+	if ok {
+		p.lru.MoveToFront(e.elem)
+	} else {
+		e = &poolEntry{}
+		e.elem = p.lru.PushFront(d)
+		p.entries[d] = e
+		max := p.Max
+		if max <= 0 {
+			max = DefaultPoolMax
+		}
+		for p.lru.Len() > max {
+			oldest := p.lru.Back()
+			p.lru.Remove(oldest)
+			delete(p.entries, oldest.Value.(Dims))
+			p.evictions++
+		}
+	}
+	p.mu.Unlock()
+
+	e.once.Do(func() { e.hb, e.err = core.New(d.M, d.N) })
+	return e.hb, e.err
+}
+
+// Len returns the number of resident instances.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lru == nil {
+		return 0
+	}
+	return p.lru.Len()
+}
+
+// Evictions returns the number of instances dropped by the LRU bound.
+func (p *Pool) Evictions() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictions
+}
+
+// orderOf computes n·2^(m+n) without constructing anything, validating
+// the dimension ranges core.New itself enforces.
+func orderOf(d Dims) (int, error) {
+	if d.M < 0 || d.M > 30 {
+		return 0, fmt.Errorf("hbserve: m=%d outside [0,30]", d.M)
+	}
+	if d.N < 3 || d.N > 30 {
+		return 0, fmt.Errorf("hbserve: n=%d outside [3,30]", d.N)
+	}
+	if d.M+d.N > 30 {
+		return 0, fmt.Errorf("hbserve: m+n=%d too large", d.M+d.N)
+	}
+	return d.N << uint(d.M+d.N), nil
+}

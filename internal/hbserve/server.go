@@ -1,0 +1,478 @@
+// Package hbserve is the topology-query service behind cmd/hbd: a
+// long-lived HTTP/JSON daemon answering routing questions about
+// HB(m,n) instances, shaped like an inference-serving stack. Queries
+// are cheap by construction (Theorems 3 and 5 make routes and the m+4
+// disjoint paths label-computable), so the serving problem is the
+// classic one — amortise instance construction across requests (Pool),
+// dedupe and memoise the hot path (RouteCache, singleflight), observe
+// everything (Metrics, /metrics), and drain cleanly on shutdown.
+//
+// Responses for /route and /paths are rendered once and cached as
+// bytes, so identical queries return byte-identical bodies no matter
+// how they interleave. /faultroute takes a caller-supplied fault set
+// and is deliberately uncached (fault sets are high-cardinality);
+// /conformance re-runs the paper's invariant registry on demand.
+package hbserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/faultroute"
+)
+
+// Server bundles the pool, cache and metrics behind an http.Handler.
+type Server struct {
+	pool    *Pool
+	cache   *RouteCache
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	// testHook, when set, runs inside every instrumented request after
+	// the in-flight gauge is raised; tests use it to hold requests open
+	// across a drain.
+	testHook func(endpoint string)
+}
+
+// Config sizes a Server. Zero values select the defaults.
+type Config struct {
+	PoolMax    int // max resident HB instances (DefaultPoolMax)
+	MaxOrder   int // max nodes per instance (DefaultMaxOrder)
+	CacheSize  int // route-cache capacity in entries; < 0 disables
+	CacheShard int // route-cache shard count (DefaultCacheShards)
+}
+
+// DefaultCacheSize holds rendered /route and /paths bodies; entries
+// are small (a path is tens of ints) so this is a few MB at worst.
+const DefaultCacheSize = 4096
+
+// NewServer returns a ready-to-serve Server.
+func NewServer(cfg Config) *Server {
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	s := &Server{
+		pool:    &Pool{Max: cfg.PoolMax, MaxOrder: cfg.MaxOrder},
+		cache:   NewRouteCache(size, cfg.CacheShard),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/route", s.instrument("route", s.handleRoute))
+	s.mux.HandleFunc("/paths", s.instrument("paths", s.handlePaths))
+	s.mux.HandleFunc("/faultroute", s.instrument("faultroute", s.handleFaultRoute))
+	s.mux.HandleFunc("/info", s.instrument("info", s.handleInfo))
+	s.mux.HandleFunc("/conformance", s.instrument("conformance", s.handleConformance))
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.WriteTo(w, s.cache, s.pool)
+	})
+	return s
+}
+
+// Handler returns the daemon's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the live registry (the load generator reads it when
+// it runs in-process during tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache exposes the route cache for stats inspection.
+func (s *Server) Cache() *RouteCache { return s.cache }
+
+// ListenAndServe serves on addr until ctx is cancelled, then drains
+// in-flight requests for up to grace before forcing connections shut.
+// It returns nil on a clean drain.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln, grace)
+}
+
+// Serve is ListenAndServe over an existing listener (tests bind port 0
+// and read the real address back).
+func (s *Server) Serve(ctx context.Context, ln net.Listener, grace time.Duration) error {
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("hbserve: drain incomplete after %v: %w", grace, err)
+	}
+	<-errc // always http.ErrServerClosed after a Shutdown
+	return nil
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the in-flight gauge, the per-endpoint
+// counter and the latency histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.RequestStart()
+		if s.testHook != nil {
+			s.testHook(endpoint)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.metrics.RequestEnd(endpoint, sw.code, time.Since(start))
+	}
+}
+
+// httpError is an error carrying a status code.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeJSON writes v as JSON; writeErr maps errors to {"error": ...}.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	} else if strings.Contains(err.Error(), "hbserve:") {
+		code = http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeCached writes pre-rendered JSON bytes (already newline-
+// terminated by the encoder that produced them).
+func writeCached(w http.ResponseWriter, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+// query parsing ------------------------------------------------------
+
+func (s *Server) instance(r *http.Request) (*core.HyperButterfly, Dims, error) {
+	m, err := intParam(r, "m", 2)
+	if err != nil {
+		return nil, Dims{}, err
+	}
+	n, err := intParam(r, "n", 3)
+	if err != nil {
+		return nil, Dims{}, err
+	}
+	d := Dims{M: m, N: n}
+	hb, err := s.pool.Get(d)
+	if err != nil {
+		return nil, d, badRequest("%v", err)
+	}
+	return hb, d, nil
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("parameter %s=%q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+func nodeParam(r *http.Request, hb *core.HyperButterfly, name string) (core.Node, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, badRequest("missing node parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("node parameter %s=%q is not an integer", name, raw)
+	}
+	if !hb.ValidNode(v) {
+		return 0, badRequest("node %s=%d out of range [0,%d)", name, v, hb.Order())
+	}
+	return v, nil
+}
+
+// handlers -----------------------------------------------------------
+
+type routeResponse struct {
+	M        int      `json:"m"`
+	N        int      `json:"n"`
+	U        int      `json:"u"`
+	V        int      `json:"v"`
+	Distance int      `json:"distance"`
+	Path     []int    `json:"path"`
+	Moves    []string `json:"moves"`
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	hb, d, err := s.instance(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	u, err := nodeParam(r, hb, "u")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	v, err := nodeParam(r, hb, "v")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	key := cacheKey("route", d, u, v)
+	body, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+		moves := hb.RouteMoves(u, v)
+		names := make([]string, len(moves))
+		for i, mv := range moves {
+			names[i] = mv.String()
+		}
+		return marshalBody(routeResponse{
+			M: d.M, N: d.N, U: u, V: v,
+			Distance: len(moves),
+			Path:     hb.Route(u, v),
+			Moves:    names,
+		})
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeCached(w, body, hit)
+}
+
+type pathsResponse struct {
+	M     int     `json:"m"`
+	N     int     `json:"n"`
+	U     int     `json:"u"`
+	V     int     `json:"v"`
+	Count int     `json:"count"`
+	Paths [][]int `json:"paths"`
+}
+
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	hb, d, err := s.instance(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	u, err := nodeParam(r, hb, "u")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	v, err := nodeParam(r, hb, "v")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if u == v {
+		writeErr(w, badRequest("disjoint paths need distinct endpoints (u=v=%d)", u))
+		return
+	}
+	key := cacheKey("paths", d, u, v)
+	body, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+		paths, err := hb.DisjointPaths(u, v)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(pathsResponse{
+			M: d.M, N: d.N, U: u, V: v,
+			Count: len(paths),
+			Paths: paths,
+		})
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeCached(w, body, hit)
+}
+
+type faultRouteResponse struct {
+	M               int    `json:"m"`
+	N               int    `json:"n"`
+	U               int    `json:"u"`
+	V               int    `json:"v"`
+	Faults          []int  `json:"faults"`
+	WithinGuarantee bool   `json:"within_guarantee"`
+	Strategy        string `json:"strategy"`
+	Path            []int  `json:"path"`
+}
+
+func (s *Server) handleFaultRoute(w http.ResponseWriter, r *http.Request) {
+	hb, d, err := s.instance(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	u, err := nodeParam(r, hb, "u")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	v, err := nodeParam(r, hb, "v")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	faults, err := faultsParam(r, hb)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	router, err := faultroute.New(hb, faults)
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	path, err := router.Route(u, v)
+	if err != nil {
+		// A routing failure is a valid answer about the query, not a
+		// server fault: faulty endpoints or a disconnecting fault set.
+		writeErr(w, &httpError{code: http.StatusUnprocessableEntity, msg: err.Error()})
+		return
+	}
+	writeJSON(w, faultRouteResponse{
+		M: d.M, N: d.N, U: u, V: v,
+		Faults:          faults,
+		WithinGuarantee: router.WithinGuarantee(),
+		Strategy:        router.LastStrategy(),
+		Path:            path,
+	})
+}
+
+// faultsParam parses faults=3,17,40 (empty means no faults).
+func faultsParam(r *http.Request, hb *core.HyperButterfly) ([]int, error) {
+	raw := r.URL.Query().Get("faults")
+	if raw == "" {
+		return nil, nil
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, badRequest("fault id %q is not an integer", p)
+		}
+		if !hb.ValidNode(f) {
+			return nil, badRequest("fault %d out of range [0,%d)", f, hb.Order())
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+type infoResponse struct {
+	M            int `json:"m"`
+	N            int `json:"n"`
+	Order        int `json:"order"`
+	Edges        int `json:"edges"`
+	Degree       int `json:"degree"`
+	Diameter     int `json:"diameter"`
+	Connectivity int `json:"connectivity"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	hb, d, err := s.instance(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, infoResponse{
+		M: d.M, N: d.N,
+		Order:        hb.Order(),
+		Edges:        hb.EdgeCountFormula(),
+		Degree:       hb.Degree(),
+		Diameter:     hb.DiameterFormula(),
+		Connectivity: hb.ConnectivityFormula(),
+	})
+}
+
+// maxConformanceOrder bounds on-demand conformance runs: the invariant
+// registry does BFS sweeps and max-flow probes, so a request against a
+// big instance could occupy a worker for seconds.
+const maxConformanceOrder = 1 << 12
+
+func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
+	hb, d, err := s.instance(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if hb.Order() > maxConformanceOrder {
+		writeErr(w, badRequest("conformance on %v (%d nodes) exceeds the on-demand cap %d",
+			d, hb.Order(), maxConformanceOrder))
+		return
+	}
+	rep := conformance.Run(
+		[]conformance.Target{conformance.HyperButterflyInstance(hb)},
+		conformance.DefaultInvariants(),
+		conformance.Options{},
+	)
+	writeJSON(w, rep)
+}
+
+// cacheKey builds the full query identity for the route cache.
+func cacheKey(kind string, d Dims, u, v int) string {
+	return kind + "|" + strconv.Itoa(d.M) + "|" + strconv.Itoa(d.N) + "|" +
+		strconv.Itoa(u) + "|" + strconv.Itoa(v)
+}
+
+// marshalBody renders a response exactly as json.Encoder does (trailing
+// newline included) so cached and uncached bodies are byte-identical.
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,62 @@
+package simnet
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestResultJSONGolden pins the JSON encoding of Result — field names
+// and values for one deterministic run — so the stats contract shared
+// by hbsim and serving-side tooling cannot drift silently. Regenerate
+// with: go test ./internal/simnet -run ResultJSONGolden -update
+func TestResultJSONGolden(t *testing.T) {
+	hb := core.MustNew(1, 3)
+	res, err := Run(Routed{Graph: hb, Route: hb.Route}, Config{
+		Cycles:       200,
+		InjectCycles: 100,
+		Rate:         0.05,
+		Pattern:      Uniform,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "result_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("Result JSON drifted from golden file:\ngot:\n%s\nwant:\n%s\n(run with -update if intentional)", got, want)
+	}
+
+	// The encoding must round-trip losslessly.
+	var back Result
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != res {
+		t.Errorf("round trip changed the result: %+v vs %+v", back, res)
+	}
+}

@@ -86,17 +86,20 @@ func (c Config) injecting(cycle int) bool {
 	return c.InjectCycles <= 0 || cycle < c.InjectCycles
 }
 
-// Result aggregates the run's metrics.
+// Result aggregates the run's metrics. The JSON field names are a
+// stable contract (testdata/result_golden.json guards them): hbsim's
+// reports and hbd-adjacent tooling share this one stats encoding, so
+// renaming a field is a breaking change to anything parsing either.
 type Result struct {
-	Injected   int
-	Delivered  int
-	InFlight   int
-	TotalHops  int
-	AvgLatency float64 // cycles from injection to delivery
-	MaxLatency int
-	AvgHops    float64
-	Throughput float64 // delivered packets per cycle
-	MaxQueue   int     // peak per-link queue occupancy
+	Injected   int     `json:"injected"`
+	Delivered  int     `json:"delivered"`
+	InFlight   int     `json:"in_flight"`
+	TotalHops  int     `json:"total_hops"`
+	AvgLatency float64 `json:"avg_latency"` // cycles from injection to delivery
+	MaxLatency int     `json:"max_latency"`
+	AvgHops    float64 `json:"avg_hops"`
+	Throughput float64 `json:"throughput"` // delivered packets per cycle
+	MaxQueue   int     `json:"max_queue"`  // peak per-link queue occupancy
 }
 
 type packet struct {
