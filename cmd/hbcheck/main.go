@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/conformance"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -41,9 +42,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pairs := fs.Int("pairs", 0, "sampled pairs per pairwise invariant (0 = default 48)")
 	maxConn := fs.Int("maxconn", 0, "max order for the max-flow connectivity check (0 = default 2048)")
 	canonical := fs.Bool("canonical", false, "emit the timing-free canonical report (diffable across runs)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := fs.String("memprofile", "", "write a GC-settled heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProfile, err := profiling.Start(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "hbcheck: %v\n", err)
+		return 2
+	}
+	defer func() {
+		stopProfile()
+		if err := profiling.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintf(stderr, "hbcheck: %v\n", err)
+		}
+	}()
 	mLo, mHi, err := parseRange(*mFlag)
 	if err != nil {
 		fmt.Fprintf(stderr, "hbcheck: -m: %v\n", err)

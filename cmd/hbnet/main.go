@@ -277,7 +277,7 @@ func verify(w io.Writer, hb *core.HyperButterfly) error {
 	st := graph.Degrees(d)
 	check("degree min (Theorem 2)", st.Min, hb.Degree())
 	check("degree max (Theorem 2)", st.Max, hb.Degree())
-	ecc, _ := graph.Eccentricity(hb, hb.Identity())
+	ecc, _ := d.EccentricityScratch(hb.Identity(), graph.NewScratch(d.Order()))
 	check("diameter (Theorem 3)", ecc, hb.DiameterFormula())
 	if d.Order() <= 8192 {
 		check("connectivity (Corollary 1)", graph.ConnectivityVertexTransitive(d), hb.ConnectivityFormula())

@@ -7,6 +7,9 @@
 // diameters, global connectivity) are replaced by formula values plus
 // sampled probes; -exact measures everything (the HD diameter sweeps
 // take a few seconds each).
+//
+// -cpuprofile/-memprofile capture pprof profiles of the sweep, mirroring
+// the go test flags.
 package main
 
 import (
@@ -15,21 +18,39 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/profiling"
 	"repro/internal/tables"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	table := flag.Int("table", 0, "which table to regenerate: 1 or 2 (0 = both)")
 	m := flag.Int("m", 3, "hypercube dimension for Figure 1")
 	n := flag.Int("n", 4, "butterfly dimension for Figure 1")
 	exact := flag.Bool("exact", false, "measure every cell exactly (slower)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the table sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a GC-settled heap profile to this file on exit")
 	flag.Parse()
 
 	if *table < 0 || *table > 2 {
 		fmt.Fprintf(os.Stderr, "hbtables: unknown table %d\n", *table)
-		os.Exit(2)
+		return 2
 	}
+	stopProfile, err := profiling.Start(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbtables:", err)
+		return 2
+	}
+	defer func() {
+		stopProfile()
+		if err := profiling.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "hbtables:", err)
+		}
+	}()
 
 	out := struct {
 		Figure1 []tables.Summary `json:"figure1,omitempty"`
@@ -47,9 +68,9 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, "hbtables:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if out.Figure1 != nil {
 		fmt.Println("Figure 1 — symbolic (as printed in the paper)")
@@ -63,4 +84,5 @@ func main() {
 			fmt.Println("(HD diameters shown as formulas; rerun with -exact for the full BFS sweep)")
 		}
 	}
+	return 0
 }

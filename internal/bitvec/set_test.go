@@ -1,0 +1,119 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSetAgainstBoolSlice differentially checks every Set operation
+// against a plain []bool model across randomized operation sequences
+// and universe sizes that straddle word boundaries.
+func TestSetAgainstBoolSlice(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 200} {
+		s := NewSet(n)
+		model := make([]bool, n)
+		rng := rand.New(rand.NewSource(int64(n + 1)))
+		for op := 0; op < 500 && n > 0; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(i)
+				model[i] = true
+			case 1:
+				s.Remove(i)
+				model[i] = false
+			case 2:
+				if s.Has(i) != model[i] {
+					t.Fatalf("n=%d: Has(%d) = %v, model %v", n, i, s.Has(i), model[i])
+				}
+			}
+		}
+		count := 0
+		var wantIdx []int32
+		for i, x := range model {
+			if x {
+				count++
+				wantIdx = append(wantIdx, int32(i))
+			}
+		}
+		if s.Count() != count {
+			t.Fatalf("n=%d: Count = %d, model %d", n, s.Count(), count)
+		}
+		got := s.AppendIndices(nil)
+		if len(got) != len(wantIdx) {
+			t.Fatalf("n=%d: AppendIndices %v, model %v", n, got, wantIdx)
+		}
+		for i := range wantIdx {
+			if got[i] != wantIdx[i] {
+				t.Fatalf("n=%d: AppendIndices[%d] = %d, model %d", n, i, got[i], wantIdx[i])
+			}
+		}
+	}
+}
+
+// TestSetResetReuse checks that Reset empties the set, keeps tail bits
+// of the last word zero, and reuses backing storage when shrinking.
+func TestSetResetReuse(t *testing.T) {
+	s := NewSet(130)
+	for i := 0; i < 130; i++ {
+		s.Add(i)
+	}
+	s.Reset(70)
+	if s.Len() != 70 || s.Count() != 0 {
+		t.Fatalf("after Reset(70): Len %d Count %d", s.Len(), s.Count())
+	}
+	s.Add(69)
+	for _, tail := range s.Words() {
+		_ = tail
+	}
+	// Bits beyond Len in the last word must be zero so word-level
+	// consumers (kernel fixup loops) never see phantom elements.
+	if w := s.Words()[1]; w != 1<<5 {
+		t.Fatalf("tail word %b, want only bit 5", w)
+	}
+	s.ClearAll()
+	if s.Count() != 0 {
+		t.Fatalf("ClearAll left %d elements", s.Count())
+	}
+}
+
+// TestSetCopyFrom checks CopyFrom snapshots universe and members.
+func TestSetCopyFrom(t *testing.T) {
+	a := NewSet(100)
+	a.Add(3)
+	a.Add(77)
+	b := NewSet(2)
+	b.CopyFrom(a)
+	if b.Len() != 100 || !b.Has(3) || !b.Has(77) || b.Count() != 2 {
+		t.Fatalf("CopyFrom: Len %d Count %d", b.Len(), b.Count())
+	}
+	b.Add(50)
+	if a.Has(50) {
+		t.Fatal("CopyFrom aliased storage")
+	}
+}
+
+// TestSetAppendIndicesReusesBuffer checks the append contract.
+func TestSetAppendIndicesReusesBuffer(t *testing.T) {
+	s := NewSet(80)
+	s.Add(0)
+	s.Add(64)
+	buf := make([]int32, 0, 8)
+	got := s.AppendIndices(buf[:0])
+	if len(got) != 2 || got[0] != 0 || got[1] != 64 {
+		t.Fatalf("AppendIndices = %v", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AppendIndices reallocated despite sufficient capacity")
+	}
+}
+
+// TestSetNegativePanics pins the Reset contract.
+func TestSetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset(-1) did not panic")
+		}
+	}()
+	NewSet(-1)
+}

@@ -128,7 +128,7 @@ func DefaultInvariants() []Invariant {
 			Check: func(t *Target, env *Env) error {
 				var got int
 				if t.VertexTransitive {
-					ecc, conn := graph.Eccentricity(t.Graph, 0)
+					ecc, conn := env.Dense().EccentricityScratch(0, graph.NewScratch(t.Order))
 					if !conn {
 						return fmt.Errorf("graph disconnected")
 					}
@@ -180,8 +180,10 @@ func DefaultInvariants() []Invariant {
 				return ""
 			},
 			Check: func(t *Target, env *Env) error {
+				d := env.Dense()
+				s := graph.NewScratch(t.Order)
 				for _, src := range sampleVertices(t, env.rng(1), 6) {
-					dist := graph.BFS(t.Graph, src, nil)
+					dist := d.BFSScratch(src, nil, s)
 					for v := 0; v < t.Order; v++ {
 						if got := t.Distance(src, v); got != int(dist[v]) {
 							return fmt.Errorf("Distance(%d,%d) = %d, BFS %d", src, v, got, dist[v])
@@ -202,8 +204,10 @@ func DefaultInvariants() []Invariant {
 				return ""
 			},
 			Check: func(t *Target, env *Env) error {
+				d := env.Dense()
+				s := graph.NewScratch(t.Order)
 				for _, src := range sampleVertices(t, env.rng(2), 4) {
-					dist := graph.BFS(t.Graph, src, nil)
+					dist := d.BFSScratch(src, nil, s)
 					for v := 0; v < t.Order; v++ {
 						p := t.Route(src, v)
 						if len(p) == 0 || p[0] != src || p[len(p)-1] != v {

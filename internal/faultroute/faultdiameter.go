@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/graph"
 )
 
 // FaultDiameter returns the exact diameter of HB(m,n) after deleting
@@ -16,8 +15,9 @@ import (
 // the sub-network detour (+2 per family), which is what the E-FD
 // experiment quantifies empirically.
 //
-// Cost: one BFS per surviving node; intended for instances up to a few
-// thousand nodes.
+// Cost: one pooled bit-parallel sweep over the CSR form — batches of 64
+// surviving sources advance together, so the whole fault sweep is a few
+// O(|E|) word passes rather than one BFS per survivor.
 func FaultDiameter(hb *core.HyperButterfly, faults []core.Node) (int, error) {
 	excluded := make([]bool, hb.Order())
 	for _, f := range faults {
@@ -26,28 +26,24 @@ func FaultDiameter(hb *core.HyperButterfly, faults []core.Node) (int, error) {
 		}
 		excluded[f] = true
 	}
-	diam := 0
 	survivors := 0
-	for v := 0; v < hb.Order(); v++ {
-		if excluded[v] {
-			continue
-		}
-		survivors++
-		dist := graph.BFS(hb, v, excluded)
-		for w, d := range dist {
-			if excluded[w] || w == v {
-				continue
-			}
-			if d == graph.Unreachable {
-				return 0, fmt.Errorf("faultroute: faults disconnect %d from %d", v, w)
-			}
-			if int(d) > diam {
-				diam = int(d)
-			}
+	for _, x := range excluded {
+		if !x {
+			survivors++
 		}
 	}
 	if survivors < 2 {
 		return 0, nil
 	}
-	return diam, nil
+	sweep := hb.Dense().AllSourcesBits(excluded, 0)
+	if !sweep.Complete {
+		return 0, fmt.Errorf("faultroute: faults disconnect %d from %d", sweep.MissingSrc, sweep.MissingDst)
+	}
+	diam := int32(0)
+	for _, e := range sweep.Ecc {
+		if e > diam {
+			diam = e
+		}
+	}
+	return int(diam), nil
 }

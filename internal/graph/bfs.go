@@ -12,7 +12,26 @@ const Unreachable = int32(math.MaxInt32)
 // BFS computes single-source shortest-path distances from src in g.
 // Faulty vertices (excluded[v] == true) are treated as deleted; excluded
 // may be nil. The source itself must not be excluded.
+//
+// Dense graphs are dispatched to the direction-optimizing CSR kernel
+// (see kernel.go); other Graph implementations fall back to
+// BFSReference. Callers running many BFS over one Dense should hold a
+// Scratch and call Dense.BFSScratch (or AllSources) to skip the
+// per-call allocation.
 func BFS(g Graph, src int, excluded []bool) []int32 {
+	if d, ok := g.(*Dense); ok {
+		// A fresh Scratch per call keeps the returned slice caller-owned,
+		// matching the historical contract.
+		return d.BFSScratch(src, excluded, NewScratch(d.Order()))
+	}
+	return BFSReference(g, src, excluded)
+}
+
+// BFSReference is the straightforward interface-dispatched BFS retained
+// as the differential-testing oracle for the CSR kernel (and as the path
+// for Graph implementations that were never materialised). Semantics
+// are identical to BFS.
+func BFSReference(g Graph, src int, excluded []bool) []int32 {
 	n := g.Order()
 	dist := make([]int32, n)
 	for i := range dist {
@@ -85,9 +104,13 @@ func tracePath(parent []int32, src, dst int) []int {
 }
 
 // Eccentricity returns the maximum finite BFS distance from src and
-// whether every vertex was reached.
+// whether every vertex was reached. Dense graphs use the CSR kernel,
+// which tracks both quantities during the traversal.
 func Eccentricity(g Graph, src int) (ecc int, connected bool) {
-	dist := BFS(g, src, nil)
+	if d, ok := g.(*Dense); ok {
+		return d.EccentricityScratch(src, NewScratch(d.Order()))
+	}
+	dist := BFSReference(g, src, nil)
 	connected = true
 	for _, d := range dist {
 		if d == Unreachable {
@@ -102,21 +125,21 @@ func Eccentricity(g Graph, src int) (ecc int, connected bool) {
 }
 
 // Diameter computes the exact diameter of g by running a BFS from every
-// vertex. It returns -1 for a disconnected graph. For vertex-transitive
-// graphs prefer Eccentricity from any single vertex.
+// vertex on the pooled sweep engine (see AllSources). It returns -1 for
+// a disconnected graph. For vertex-transitive graphs prefer
+// Eccentricity from any single vertex. Non-Dense graphs are
+// materialised first; pass the Dense directly to avoid rebuilding.
 func Diameter(g Graph) int {
-	n := g.Order()
-	diam := 0
-	for v := 0; v < n; v++ {
-		ecc, conn := Eccentricity(g, v)
-		if !conn {
-			return -1
-		}
-		if ecc > diam {
-			diam = ecc
-		}
+	return diameterAllSources(asDense(g), 0)
+}
+
+// asDense returns g itself when it already is a Dense and materialises
+// it otherwise.
+func asDense(g Graph) *Dense {
+	if d, ok := g.(*Dense); ok {
+		return d
 	}
-	return diam
+	return Build(g)
 }
 
 // IsConnected reports whether g is connected after removing the excluded
@@ -136,7 +159,12 @@ func IsConnected(g Graph, excluded []bool) bool {
 	if remaining <= 1 {
 		return true
 	}
-	dist := BFS(g, src, excluded)
+	if d, ok := g.(*Dense); ok {
+		s := NewScratch(n)
+		d.BFSScratch(src, excluded, s)
+		return s.Reached() == remaining
+	}
+	dist := BFSReference(g, src, excluded)
 	reached := 0
 	for v := 0; v < n; v++ {
 		if (excluded == nil || !excluded[v]) && dist[v] != Unreachable {
@@ -178,22 +206,10 @@ func Components(g Graph) (comp []int32, count int) {
 }
 
 // DistanceHistogram returns hist where hist[d] is the number of ordered
-// pairs (src, v) at distance d, computed by BFS from every vertex of g.
-// It returns nil for a disconnected graph.
+// pairs (src, v) at distance d, computed by BFS from every vertex of g
+// on the pooled sweep engine. Each worker's sub-histogram is sized once
+// per source from the observed eccentricity. It returns nil for a
+// disconnected graph.
 func DistanceHistogram(g Graph) []int64 {
-	n := g.Order()
-	var hist []int64
-	for v := 0; v < n; v++ {
-		dist := BFS(g, v, nil)
-		for _, d := range dist {
-			if d == Unreachable {
-				return nil
-			}
-			for int(d) >= len(hist) {
-				hist = append(hist, 0)
-			}
-			hist[d]++
-		}
-	}
-	return hist
+	return distanceHistogramAllSources(asDense(g), 0)
 }

@@ -1,0 +1,58 @@
+package graph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/graph"
+)
+
+// TestKernelMatchesReferenceOnConformanceTargets runs the differential
+// BFS check over every topology the conformance sweep produces — the
+// hypercubes, butterflies, de Bruijn graphs (self-loops and
+// multi-edges) and hyper-variants the kernel actually serves — with and
+// without random fault sets.
+func TestKernelMatchesReferenceOnConformanceTargets(t *testing.T) {
+	targets, err := conformance.Sweep(1, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.NewScratch(0)
+	for _, target := range targets {
+		d := graph.Build(target.Graph)
+		n := d.Order()
+		rng := rand.New(rand.NewSource(int64(n)))
+		srcs := []int{0, n - 1, rng.Intn(n)}
+		for _, src := range srcs {
+			for _, withFaults := range []bool{false, true} {
+				var excluded []bool
+				if withFaults {
+					excluded = make([]bool, n)
+					for v := range excluded {
+						if v != src && rng.Float64() < 0.15 {
+							excluded[v] = true
+						}
+					}
+				}
+				want := graph.BFSReference(d, src, excluded)
+				got := d.BFSScratch(src, excluded, s)
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("%s src %d faults=%v: dist[%d] = %d, reference %d",
+							target.Name, src, withFaults, v, got[v], want[v])
+					}
+				}
+			}
+		}
+		// The interface and CSR paths of the public entry points agree.
+		if n <= 2048 {
+			seqEcc, seqConn := graph.Eccentricity(target.Graph, 0)
+			denseEcc, denseConn := graph.Eccentricity(d, 0)
+			if seqEcc != denseEcc || seqConn != denseConn {
+				t.Fatalf("%s: Eccentricity interface (%d,%v) vs dense (%d,%v)",
+					target.Name, seqEcc, seqConn, denseEcc, denseConn)
+			}
+		}
+	}
+}

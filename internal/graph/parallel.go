@@ -1,81 +1,13 @@
 package graph
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
-
 // DiameterParallel computes the exact diameter of g by running
 // single-source BFS from every vertex across `workers` goroutines
-// (default: GOMAXPROCS when workers <= 0). Each worker reuses its own
-// distance and queue buffers, so memory stays at O(workers · |V|).
-// Returns -1 for a disconnected graph.
+// (default: GOMAXPROCS when workers <= 0) on the shared AllSources
+// sweep engine: chunked work claiming, one direction-optimizing Scratch
+// per worker, early exit on the first disconnected source. Memory stays
+// at O(workers · |V|). Returns -1 for a disconnected graph. Non-Dense
+// graphs are materialised first; pass the Dense directly to avoid
+// rebuilding per call.
 func DiameterParallel(g Graph, workers int) int {
-	n := g.Order()
-	if n == 0 {
-		return 0
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	var next int64 = -1
-	var diam int64
-	var disconnected int32
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			dist := make([]int32, n)
-			queue := make([]int32, 0, n)
-			var buf []int
-			local := int64(0)
-			for {
-				src := int(atomic.AddInt64(&next, 1))
-				if src >= n || atomic.LoadInt32(&disconnected) != 0 {
-					break
-				}
-				for i := range dist {
-					dist[i] = Unreachable
-				}
-				dist[src] = 0
-				queue = append(queue[:0], int32(src))
-				reached := 1
-				for head := 0; head < len(queue); head++ {
-					v := int(queue[head])
-					dv := dist[v]
-					buf = g.AppendNeighbors(v, buf[:0])
-					for _, x := range buf {
-						if dist[x] == Unreachable {
-							dist[x] = dv + 1
-							reached++
-							queue = append(queue, int32(x))
-						}
-					}
-				}
-				if reached != n {
-					atomic.StoreInt32(&disconnected, 1)
-					break
-				}
-				if ecc := int64(dist[queue[len(queue)-1]]); ecc > local {
-					local = ecc
-				}
-			}
-			for {
-				cur := atomic.LoadInt64(&diam)
-				if local <= cur || atomic.CompareAndSwapInt64(&diam, cur, local) {
-					break
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if disconnected != 0 {
-		return -1
-	}
-	return int(diam)
+	return diameterAllSources(asDense(g), workers)
 }

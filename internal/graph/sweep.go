@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+)
+
+// This file is the shared all-sources sweep engine: Diameter,
+// DiameterParallel, DistanceHistogram and the fault-diameter experiment
+// all run as one worker-pooled loop over BFS sources, with chunked work
+// claiming and one reusable Scratch per worker.
+
+// sweepChunk is the number of consecutive sources a worker claims at a
+// time: large enough to amortise the atomic, small enough that stragglers
+// can steal the tail of an uneven sweep.
+const sweepChunk = 16
+
+// EffectiveWorkers returns the worker count AllSources uses for a
+// sweep over n sources given the requested count (<= 0 means
+// GOMAXPROCS). Callers allocating per-worker state index it with the
+// worker argument of their visit callback, which ranges over
+// [0, EffectiveWorkers(workers, n)).
+func EffectiveWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// AllSources runs one BFS from every non-excluded vertex of d across a
+// worker pool. Sources are claimed in chunks off a shared atomic
+// counter; each worker owns one Scratch for its whole shift, so the
+// sweep does zero steady-state allocations per source. After each BFS
+// the worker calls visit(worker, src, s) — s.Dist/Reached/MaxDist hold
+// that source's result and alias the worker's scratch, so visit must
+// not retain them. Returning false cancels the sweep (other workers
+// stop at their next claim or source). visit runs concurrently across
+// workers; it must synchronise any shared writes itself or index
+// per-worker state by the worker id.
+func AllSources(d *Dense, excluded []bool, workers int, visit func(worker, src int, s *Scratch) bool) {
+	n := d.Order()
+	if n == 0 {
+		return
+	}
+	workers = EffectiveWorkers(workers, n)
+	var excl *bitvec.Set
+	if excluded != nil {
+		excl = bitvec.NewSet(n)
+		for v, x := range excluded {
+			if x {
+				excl.Add(v)
+			}
+		}
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			s := NewScratch(n)
+			for !stop.Load() {
+				base := int(next.Add(sweepChunk)) - sweepChunk
+				if base >= n {
+					return
+				}
+				end := base + sweepChunk
+				if end > n {
+					end = n
+				}
+				for src := base; src < end; src++ {
+					if excl != nil && excl.Has(src) {
+						continue
+					}
+					d.bfsBits(src, excl, s)
+					if !visit(worker, src, s) {
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// diameterAllSources is Diameter/DiameterParallel over the bit-parallel
+// sweep engine: -1 as soon as any batch proves the graph disconnected,
+// otherwise the maximum eccentricity.
+func diameterAllSources(d *Dense, workers int) int {
+	n := d.Order()
+	if n == 0 {
+		return 0
+	}
+	sweep := d.AllSourcesBits(nil, workers)
+	if !sweep.Complete {
+		return -1
+	}
+	diam := int32(0)
+	for _, e := range sweep.Ecc {
+		if e > diam {
+			diam = e
+		}
+	}
+	return int(diam)
+}
+
+// distanceHistogramAllSources computes the ordered-pair distance
+// histogram from the bit-parallel sweep's per-level pair counts — the
+// histogram is sized once per observed level (no inner append-growth
+// loop) and merged across workers at the end.
+func distanceHistogramAllSources(d *Dense, workers int) []int64 {
+	n := d.Order()
+	if n == 0 {
+		return nil
+	}
+	sweep := d.AllSourcesBits(nil, workers)
+	if !sweep.Complete {
+		return nil
+	}
+	return sweep.Hist
+}

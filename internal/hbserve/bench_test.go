@@ -23,7 +23,7 @@ func BenchmarkRouteCache(b *testing.B) {
 
 	b.Run("hit", func(b *testing.B) {
 		c := NewRouteCache(1024, 0)
-		key := cacheKey("route", Dims{M: 2, N: 4}, 0, 200)
+		key := cacheKey("route", Dims{M: 2, N: 4}, 0, 200, false)
 		c.GetOrCompute(key, compute(0, 200))
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -51,7 +51,7 @@ func BenchmarkRouteCache(b *testing.B) {
 		// All goroutines hammer one hot key: first computes, rest either
 		// coalesce onto the flight or hit.
 		c := NewRouteCache(1024, 0)
-		key := cacheKey("route", Dims{M: 2, N: 4}, 3, 100)
+		key := cacheKey("route", Dims{M: 2, N: 4}, 3, 100, false)
 		b.ReportAllocs()
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {

@@ -23,11 +23,13 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/faultroute"
+	"repro/internal/graph"
 )
 
 // Server bundles the pool, cache and metrics behind an http.Handler.
@@ -36,6 +38,11 @@ type Server struct {
 	cache   *RouteCache
 	metrics *Metrics
 	mux     *http.ServeMux
+
+	// scratch pools the BFS kernel state used by verify=1 requests, so
+	// verification costs one traversal and zero steady-state
+	// allocations per request.
+	scratch sync.Pool
 
 	// testHook, when set, runs inside every instrumented request after
 	// the in-flight gauge is raised; tests use it to hold requests open
@@ -67,6 +74,7 @@ func NewServer(cfg Config) *Server {
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 	}
+	s.scratch.New = func() any { return graph.NewScratch(0) }
 	s.mux.HandleFunc("/route", s.instrument("route", s.handleRoute))
 	s.mux.HandleFunc("/paths", s.instrument("paths", s.handlePaths))
 	s.mux.HandleFunc("/faultroute", s.instrument("faultroute", s.handleFaultRoute))
@@ -250,6 +258,7 @@ type routeResponse struct {
 	Distance int      `json:"distance"`
 	Path     []int    `json:"path"`
 	Moves    []string `json:"moves"`
+	Verified bool     `json:"verified,omitempty"`
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
@@ -268,19 +277,27 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	key := cacheKey("route", d, u, v)
+	verify := boolParam(r, "verify")
+	key := cacheKey("route", d, u, v, verify)
 	body, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
 		moves := hb.RouteMoves(u, v)
 		names := make([]string, len(moves))
 		for i, mv := range moves {
 			names[i] = mv.String()
 		}
-		return marshalBody(routeResponse{
+		resp := routeResponse{
 			M: d.M, N: d.N, U: u, V: v,
 			Distance: len(moves),
 			Path:     hb.Route(u, v),
 			Moves:    names,
-		})
+		}
+		if verify {
+			if err := s.verifyRoute(hb, u, v, resp.Path); err != nil {
+				return nil, err
+			}
+			resp.Verified = true
+		}
+		return marshalBody(resp)
 	})
 	if err != nil {
 		writeErr(w, err)
@@ -290,12 +307,13 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 }
 
 type pathsResponse struct {
-	M     int     `json:"m"`
-	N     int     `json:"n"`
-	U     int     `json:"u"`
-	V     int     `json:"v"`
-	Count int     `json:"count"`
-	Paths [][]int `json:"paths"`
+	M        int     `json:"m"`
+	N        int     `json:"n"`
+	U        int     `json:"u"`
+	V        int     `json:"v"`
+	Count    int     `json:"count"`
+	Paths    [][]int `json:"paths"`
+	Verified bool    `json:"verified,omitempty"`
 }
 
 func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
@@ -318,17 +336,25 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest("disjoint paths need distinct endpoints (u=v=%d)", u))
 		return
 	}
-	key := cacheKey("paths", d, u, v)
+	verify := boolParam(r, "verify")
+	key := cacheKey("paths", d, u, v, verify)
 	body, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
 		paths, err := hb.DisjointPaths(u, v)
 		if err != nil {
 			return nil, err
 		}
-		return marshalBody(pathsResponse{
+		resp := pathsResponse{
 			M: d.M, N: d.N, U: u, V: v,
 			Count: len(paths),
 			Paths: paths,
-		})
+		}
+		if verify {
+			if err := s.verifyPaths(hb, u, v, paths); err != nil {
+				return nil, err
+			}
+			resp.Verified = true
+		}
+		return marshalBody(resp)
 	})
 	if err != nil {
 		writeErr(w, err)
@@ -461,10 +487,76 @@ func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rep)
 }
 
-// cacheKey builds the full query identity for the route cache.
-func cacheKey(kind string, d Dims, u, v int) string {
-	return kind + "|" + strconv.Itoa(d.M) + "|" + strconv.Itoa(d.N) + "|" +
+// cacheKey builds the full query identity for the route cache. The
+// verify flag is part of the identity: verified and unverified bodies
+// differ.
+func cacheKey(kind string, d Dims, u, v int, verify bool) string {
+	key := kind + "|" + strconv.Itoa(d.M) + "|" + strconv.Itoa(d.N) + "|" +
 		strconv.Itoa(u) + "|" + strconv.Itoa(v)
+	if verify {
+		key += "|verified"
+	}
+	return key
+}
+
+// boolParam reads a flag parameter (accepted forms: 1, true).
+func boolParam(r *http.Request, name string) bool {
+	raw := r.URL.Query().Get(name)
+	return raw == "1" || raw == "true"
+}
+
+// verification -------------------------------------------------------
+
+// bfsDist runs one pooled-scratch kernel BFS from u and passes the
+// distances to read (the slice aliases the scratch, so it must not
+// escape read).
+func (s *Server) bfsDist(hb *core.HyperButterfly, u int, read func(dist []int32) error) error {
+	sc := s.scratch.Get().(*graph.Scratch)
+	defer s.scratch.Put(sc)
+	return read(hb.Dense().BFSScratch(u, nil, sc))
+}
+
+// verifyRoute independently checks a /route answer: the path must run
+// u -> v over real edges and its length must equal the BFS distance
+// (Theorem 3 routes are optimal).
+func (s *Server) verifyRoute(hb *core.HyperButterfly, u, v int, path []int) error {
+	dense := hb.Dense()
+	if len(path) == 0 || path[0] != u || path[len(path)-1] != v {
+		return fmt.Errorf("route verification failed: path endpoints %v, want %d -> %d", path, u, v)
+	}
+	for i := 1; i < len(path); i++ {
+		if !dense.HasEdge(path[i-1], path[i]) {
+			return fmt.Errorf("route verification failed: %d-%d is not an edge", path[i-1], path[i])
+		}
+	}
+	return s.bfsDist(hb, u, func(dist []int32) error {
+		if int(dist[v]) != len(path)-1 {
+			return fmt.Errorf("route verification failed: length %d, BFS distance %d", len(path)-1, dist[v])
+		}
+		return nil
+	})
+}
+
+// verifyPaths independently checks a /paths answer: every path must run
+// u -> v over real edges and be no shorter than the BFS distance.
+func (s *Server) verifyPaths(hb *core.HyperButterfly, u, v int, paths [][]int) error {
+	dense := hb.Dense()
+	return s.bfsDist(hb, u, func(dist []int32) error {
+		for pi, p := range paths {
+			if len(p) == 0 || p[0] != u || p[len(p)-1] != v {
+				return fmt.Errorf("paths verification failed: path %d endpoints %v, want %d -> %d", pi, p, u, v)
+			}
+			for i := 1; i < len(p); i++ {
+				if !dense.HasEdge(p[i-1], p[i]) {
+					return fmt.Errorf("paths verification failed: path %d uses non-edge %d-%d", pi, p[i-1], p[i])
+				}
+			}
+			if len(p)-1 < int(dist[v]) {
+				return fmt.Errorf("paths verification failed: path %d length %d below BFS distance %d", pi, len(p)-1, dist[v])
+			}
+		}
+		return nil
+	})
 }
 
 // marshalBody renders a response exactly as json.Encoder does (trailing

@@ -330,3 +330,53 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatalf("drained body %q: %v", r.body, err)
 	}
 }
+
+// TestVerifyParam exercises verify=1 on /route and /paths: responses
+// carry verified:true, bodies are cached separately from unverified
+// ones, and every sampled pair passes the independent BFS check.
+func TestVerifyParam(t *testing.T) {
+	s, ts := newTestServer(t)
+	hb := core.MustNew(2, 3)
+	for _, pair := range [][2]int{{0, 95}, {3, 40}, {17, 17}} {
+		u, v := pair[0], pair[1]
+		code, body := get(t, fmt.Sprintf("%s/route?m=2&n=3&u=%d&v=%d&verify=1", ts.URL, u, v))
+		if code != 200 {
+			t.Fatalf("route verify status %d: %s", code, body)
+		}
+		var res routeResponse
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("route %d->%d not verified: %s", u, v, body)
+		}
+		if res.Distance != hb.Distance(u, v) {
+			t.Errorf("route %d->%d distance %d, want %d", u, v, res.Distance, hb.Distance(u, v))
+		}
+	}
+	code, body := get(t, ts.URL+"/paths?m=2&n=3&u=0&v=95&verify=true")
+	if code != 200 {
+		t.Fatalf("paths verify status %d: %s", code, body)
+	}
+	var pres pathsResponse
+	if err := json.Unmarshal(body, &pres); err != nil {
+		t.Fatal(err)
+	}
+	if !pres.Verified || pres.Count != hb.Degree() {
+		t.Fatalf("paths verify: %s", body)
+	}
+
+	// Unverified body of the same query must come from a distinct cache
+	// entry without the verified flag.
+	_, plain := get(t, ts.URL+"/paths?m=2&n=3&u=0&v=95")
+	var unres pathsResponse
+	if err := json.Unmarshal(plain, &unres); err != nil {
+		t.Fatal(err)
+	}
+	if unres.Verified {
+		t.Fatalf("unverified query returned verified body: %s", plain)
+	}
+	if _, misses, _ := s.Cache().Stats(); misses < 5 {
+		t.Fatalf("expected distinct cache entries per verify flag, misses = %d", misses)
+	}
+}

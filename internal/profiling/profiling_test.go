@@ -1,0 +1,56 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	stop, err := Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if err := WriteHeap(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesAreWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := Start(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the profile has something to hold.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i
+	}
+	_ = sink
+	stop()
+	if err := WriteHeap(mem); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")); err == nil {
+		t.Fatal("Start into a missing directory did not error")
+	}
+	if err := WriteHeap(filepath.Join(t.TempDir(), "no", "such", "dir", "mem.out")); err == nil {
+		t.Fatal("WriteHeap into a missing directory did not error")
+	}
+}

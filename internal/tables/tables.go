@@ -70,7 +70,7 @@ func SummarizeHypercube(dim int, exact bool) Summary {
 		MeshOfTrees:         "yes",
 	}
 	// H is vertex-transitive: one BFS gives the diameter.
-	s.Diameter, _ = graph.Eccentricity(c, 0)
+	s.Diameter, _ = d.EccentricityScratch(0, graph.NewScratch(d.Order()))
 	if exact || d.Order() <= exactLimit {
 		s.Connectivity = graph.ConnectivityVertexTransitive(d)
 		s.ConnectivityNote = "exact (max-flow)"
@@ -99,7 +99,7 @@ func SummarizeButterfly(n int, exact bool) Summary {
 		BinaryTree:          fmt.Sprintf("T(%d)", n+1),
 		MeshOfTrees:         "yes",
 	}
-	s.Diameter, _ = graph.Eccentricity(b, b.Identity())
+	s.Diameter, _ = d.EccentricityScratch(b.Identity(), graph.NewScratch(d.Order()))
 	if exact || d.Order() <= exactLimit {
 		s.Connectivity = graph.ConnectivityVertexTransitive(d)
 		s.ConnectivityNote = "exact (max-flow)"
@@ -165,7 +165,7 @@ func SummarizeHB(m, n int, exact bool) Summary {
 		BinaryTree:          fmt.Sprintf("T(%d)", m+n-1),
 		MeshOfTrees:         fmt.Sprintf("MT(2^%d, 2^%d)", maxInt(m-2, 1), n),
 	}
-	s.Diameter, _ = graph.Eccentricity(hb, hb.Identity()) // vertex-transitive
+	s.Diameter, _ = d.EccentricityScratch(hb.Identity(), graph.NewScratch(d.Order())) // vertex-transitive
 	if exact || d.Order() <= exactLimit {
 		s.Connectivity = graph.ConnectivityVertexTransitive(d)
 		s.ConnectivityNote = "exact (max-flow)"
