@@ -18,7 +18,9 @@
 //
 // /route and /paths responses are cached and byte-identical for
 // identical queries. SIGINT/SIGTERM drain in-flight requests before
-// exit.
+// exit. Every request runs under a deadline (-timeout), overload sheds
+// with 503 + Retry-After (-maxinflight), and handler panics answer 500
+// and increment hbd_panics_total instead of killing the daemon.
 package main
 
 import (
@@ -48,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	shards := fs.Int("shards", 0, "serve: route-cache shards (0 = default)")
 	maxOrder := fs.Int("maxorder", 0, "serve: max nodes per instance (0 = default)")
 	grace := fs.Duration("grace", 10*time.Second, "serve: shutdown drain budget")
+	timeout := fs.Duration("timeout", 0, "serve: per-request deadline (0 = default, negative disables)")
+	maxInFlight := fs.Int("maxinflight", 0, "serve: 503 load-shedding bound (0 = default, negative disables)")
 
 	url := fs.String("url", "http://127.0.0.1:8080", "load: target base URL")
 	m := fs.Int("m", 2, "load: hypercube dimension")
@@ -66,10 +70,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch *mode {
 	case "serve":
 		srv := hbserve.NewServer(hbserve.Config{
-			PoolMax:    *poolMax,
-			MaxOrder:   *maxOrder,
-			CacheSize:  *cacheSize,
-			CacheShard: *shards,
+			PoolMax:        *poolMax,
+			MaxOrder:       *maxOrder,
+			CacheSize:      *cacheSize,
+			CacheShard:     *shards,
+			RequestTimeout: *timeout,
+			MaxInFlight:    *maxInFlight,
 		})
 		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 		defer stop()

@@ -14,6 +14,7 @@ package conformance
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/butterfly"
 	"repro/internal/core"
@@ -178,6 +179,12 @@ func HyperButterfly(m, n int) Target {
 // other query paths instead of reconstructing per request.
 func HyperButterflyInstance(hb *core.HyperButterfly) Target {
 	m, n := hb.M(), hb.N()
+	// One incremental router serves every fault-tolerance trial on this
+	// instance: consecutive trials differ by a handful of faults, so each
+	// call pays a set diff instead of a router rebuild. The harness runs
+	// invariants in parallel, hence the lock around the diff+route pair.
+	fr, frErr := faultroute.New(hb, nil)
+	var frMu sync.Mutex
 	return Target{
 		Name:             fmt.Sprintf("HB(%d,%d)", m, n),
 		Graph:            hb,
@@ -196,8 +203,15 @@ func HyperButterflyInstance(hb *core.HyperButterfly) Target {
 		DisjointPaths:    hb.DisjointPaths,
 		PathCount:        hb.Degree(),
 		FaultRoute: func(faults []int, u, v int) ([]int, error) {
-			path, _, err := faultroute.Route(hb, faults, u, v)
-			return path, err
+			if frErr != nil {
+				return nil, frErr
+			}
+			frMu.Lock()
+			defer frMu.Unlock()
+			if err := fr.SetFaults(faults); err != nil {
+				return nil, err
+			}
+			return fr.Route(u, v)
 		},
 		MaxFaults: hb.M() + 3,
 		Seed:      int64(503*m + 17*n),

@@ -9,20 +9,32 @@ package faultroute
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 )
 
-// Router routes around a fixed set of faulty nodes.
+// Router routes around a set of faulty nodes. The set is mutable:
+// Fail and Recover adjust it incrementally, invalidating only the
+// cached routes that actually depend on the changed node, so a
+// long-lived router (the hbd /faultroute endpoint, the simulator's
+// chaos rerouter) never rebuilds from scratch. All methods are safe
+// for concurrent use; reads of the exported Stats field are only
+// meaningful while no Route call is in flight.
 type Router struct {
-	hb     *core.HyperButterfly
+	hb *core.HyperButterfly
+
+	mu     sync.Mutex
 	faulty []bool
 	nfault int
+	epoch  uint64 // bumps on every effective Fail/Recover
 	last   string // strategy of the most recent successful Route
+	cache  map[pairKey]cachedRoute
 
 	// Stats counts which strategy satisfied each Route call; useful for
-	// the E-R10 experiment.
+	// the E-R10 experiment. Cache hits re-count the strategy that
+	// originally produced the path.
 	Stats struct {
 		Optimal  int // the fault-free shortest path worked unmodified
 		Greedy   int // greedy detour routing succeeded
@@ -31,9 +43,21 @@ type Router struct {
 	}
 }
 
+type pairKey struct{ u, v core.Node }
+
+type cachedRoute struct {
+	path     []core.Node
+	strategy string
+}
+
+// routerCacheMax bounds the per-router route cache; beyond it the whole
+// cache is reset (entries are cheap to recompute, the bound only stops
+// unbounded growth under adversarial query streams).
+const routerCacheMax = 4096
+
 // New returns a Router for hb with the given faulty nodes.
 func New(hb *core.HyperButterfly, faults []core.Node) (*Router, error) {
-	r := &Router{hb: hb, faulty: make([]bool, hb.Order())}
+	r := &Router{hb: hb, faulty: make([]bool, hb.Order()), cache: make(map[pairKey]cachedRoute)}
 	for _, f := range faults {
 		if f < 0 || f >= hb.Order() {
 			return nil, fmt.Errorf("faultroute: fault %d out of range [0,%d)", f, hb.Order())
@@ -44,6 +68,107 @@ func New(hb *core.HyperButterfly, faults []core.Node) (*Router, error) {
 		}
 	}
 	return r, nil
+}
+
+// Fail marks v faulty. Only cached routes whose path crosses v are
+// invalidated; everything else stays warm. Returns whether the set
+// changed.
+func (r *Router) Fail(v core.Node) (bool, error) {
+	if v < 0 || v >= r.hb.Order() {
+		return false, fmt.Errorf("faultroute: fault %d out of range [0,%d)", v, r.hb.Order())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.faulty[v] {
+		return false, nil
+	}
+	r.faulty[v] = true
+	r.nfault++
+	r.epoch++
+	for k, c := range r.cache {
+		for _, x := range c.path {
+			if x == v {
+				delete(r.cache, k)
+				break
+			}
+		}
+	}
+	return true, nil
+}
+
+// Recover clears v. Cached routes are never made invalid by a recovery
+// (they avoid a superset of the remaining faults), but detoured entries
+// may now have shorter alternatives, so every non-optimal entry is
+// invalidated. Returns whether the set changed.
+func (r *Router) Recover(v core.Node) (bool, error) {
+	if v < 0 || v >= r.hb.Order() {
+		return false, fmt.Errorf("faultroute: fault %d out of range [0,%d)", v, r.hb.Order())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.faulty[v] {
+		return false, nil
+	}
+	r.faulty[v] = false
+	r.nfault--
+	r.epoch++
+	for k, c := range r.cache {
+		if c.strategy != "optimal" {
+			delete(r.cache, k)
+		}
+	}
+	return true, nil
+}
+
+// SetFaults moves the router to exactly the given fault set by diffing
+// against the current one — the incremental path a caching server uses
+// when consecutive requests carry similar fault sets.
+func (r *Router) SetFaults(faults []core.Node) error {
+	want := make([]bool, r.hb.Order())
+	for _, f := range faults {
+		if f < 0 || f >= r.hb.Order() {
+			return fmt.Errorf("faultroute: fault %d out of range [0,%d)", f, r.hb.Order())
+		}
+		want[f] = true
+	}
+	for v := 0; v < r.hb.Order(); v++ {
+		r.mu.Lock()
+		have := r.faulty[v]
+		r.mu.Unlock()
+		if have == want[v] {
+			continue
+		}
+		var err error
+		if want[v] {
+			_, err = r.Fail(v)
+		} else {
+			_, err = r.Recover(v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FaultList returns the sorted faulty nodes.
+func (r *Router) FaultList() []core.Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.Node, 0, r.nfault)
+	for v, down := range r.faulty {
+		if down {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Epoch counts effective fault-set mutations since construction.
+func (r *Router) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
 }
 
 // Route is the one-shot form of Router.Route for callers that bring a
@@ -65,18 +190,34 @@ func Route(hb *core.HyperButterfly, faults []core.Node, u, v core.Node) ([]core.
 // LastStrategy names the strategy that satisfied the most recent
 // successful Route call ("optimal", "greedy", "disjoint", "bfs", or ""
 // before any call).
-func (r *Router) LastStrategy() string { return r.last }
+func (r *Router) LastStrategy() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last
+}
 
 // FaultCount returns the number of distinct faulty nodes.
-func (r *Router) FaultCount() int { return r.nfault }
+func (r *Router) FaultCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nfault
+}
 
 // Faulty reports whether v is faulty.
-func (r *Router) Faulty(v core.Node) bool { return r.faulty[v] }
+func (r *Router) Faulty(v core.Node) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.faulty[v]
+}
 
 // WithinGuarantee reports whether the fault count is at most m+3, the
 // bound under which Theorem 5 guarantees delivery between any two
 // non-faulty nodes.
-func (r *Router) WithinGuarantee() bool { return r.nfault <= r.hb.M()+3 }
+func (r *Router) WithinGuarantee() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nfault <= r.hb.M()+3
+}
 
 // pathClear reports whether a path avoids every fault (endpoints
 // included).
@@ -102,7 +243,13 @@ func (r *Router) pathClear(path []core.Node) bool {
 //
 // It fails only if u or v is faulty or the faults actually disconnect
 // the pair (possible only with more than m+3 faults).
+//
+// Successful non-trivial routes are cached per (u,v); Fail and Recover
+// invalidate exactly the entries they affect, so repeat queries against
+// a slowly-changing fault set are map lookups.
 func (r *Router) Route(u, v core.Node) ([]core.Node, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.faulty[u] || r.faulty[v] {
 		return nil, fmt.Errorf("faultroute: endpoint faulty (u=%v, v=%v)", r.faulty[u], r.faulty[v])
 	}
@@ -110,31 +257,59 @@ func (r *Router) Route(u, v core.Node) ([]core.Node, error) {
 		r.last = "optimal"
 		return []core.Node{u}, nil
 	}
+	key := pairKey{u, v}
+	if c, ok := r.cache[key]; ok {
+		r.countStrategy(c.strategy)
+		r.last = c.strategy
+		// Callers own their result; hand out a copy so the cached path
+		// cannot be mutated underneath later hits.
+		return append([]core.Node(nil), c.path...), nil
+	}
+	path, strategy := r.routeLocked(u, v)
+	if path == nil {
+		return nil, fmt.Errorf("faultroute: %d faults disconnect %d from %d", r.nfault, u, v)
+	}
+	r.countStrategy(strategy)
+	r.last = strategy
+	if len(r.cache) >= routerCacheMax {
+		r.cache = make(map[pairKey]cachedRoute)
+	}
+	r.cache[key] = cachedRoute{path: path, strategy: strategy}
+	return path, nil
+}
+
+// routeLocked runs the strategy ladder; the caller holds r.mu.
+func (r *Router) routeLocked(u, v core.Node) ([]core.Node, string) {
 	if p := r.hb.Route(u, v); r.pathClear(p) {
-		r.Stats.Optimal++
-		r.last = "optimal"
-		return p, nil
+		return p, "optimal"
 	}
 	if p, ok := r.greedy(u, v); ok {
-		r.Stats.Greedy++
-		r.last = "greedy"
-		return p, nil
+		return p, "greedy"
 	}
 	if paths, err := r.hb.DisjointPaths(u, v); err == nil {
 		for _, p := range paths {
 			if r.pathClear(p) {
-				r.Stats.Disjoint++
-				r.last = "disjoint"
-				return p, nil
+				return p, "disjoint"
 			}
 		}
 	}
 	if p := graph.BFSPath(r.hb, u, v, r.faulty); p != nil {
-		r.Stats.BFS++
-		r.last = "bfs"
-		return p, nil
+		return p, "bfs"
 	}
-	return nil, fmt.Errorf("faultroute: %d faults disconnect %d from %d", r.nfault, u, v)
+	return nil, ""
+}
+
+func (r *Router) countStrategy(strategy string) {
+	switch strategy {
+	case "optimal":
+		r.Stats.Optimal++
+	case "greedy":
+		r.Stats.Greedy++
+	case "disjoint":
+		r.Stats.Disjoint++
+	case "bfs":
+		r.Stats.BFS++
+	}
 }
 
 // greedyBudget bounds the number of non-improving (misrouting) steps the
@@ -182,5 +357,8 @@ func (r *Router) greedy(u, v core.Node) ([]core.Node, bool) {
 // Connected reports whether the fault-free part of the network is still
 // connected. With at most m+3 faults it always is (Corollary 1).
 func (r *Router) Connected() bool {
-	return graph.IsConnected(r.hb, r.faulty)
+	r.mu.Lock()
+	mask := append([]bool(nil), r.faulty...)
+	r.mu.Unlock()
+	return graph.IsConnected(r.hb, mask)
 }

@@ -1,0 +1,87 @@
+package faultroute
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestGreedyPropertyHB23 is the property test for the greedy strategy:
+// over random fault sets of size at most m+3 on HB(2,3), whenever
+// greedy claims success its path must run u -> v over real edges of the
+// graph, visit no faulty node, and never repeat a vertex. Alongside,
+// every Route call must leave Stats and LastStrategy in agreement about
+// which strategy delivered.
+func TestGreedyPropertyHB23(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	dense := hb.Dense()
+	rng := rand.New(rand.NewSource(23))
+	trials := 400
+	greedyHits := 0
+	for trial := 0; trial < trials; trial++ {
+		u, v := rng.Intn(hb.Order()), rng.Intn(hb.Order())
+		if u == v {
+			continue
+		}
+		f := 1 + rng.Intn(hb.M()+3)
+		seen := map[int]bool{u: true, v: true}
+		faults := make([]core.Node, 0, f)
+		for len(faults) < f {
+			x := rng.Intn(hb.Order())
+			if !seen[x] {
+				seen[x] = true
+				faults = append(faults, x)
+			}
+		}
+		r, err := New(hb, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if p, ok := r.greedy(u, v); ok {
+			greedyHits++
+			if p[0] != u || p[len(p)-1] != v {
+				t.Fatalf("greedy path %v does not run %d -> %d", p, u, v)
+			}
+			visited := map[core.Node]bool{}
+			for i, x := range p {
+				if r.faulty[x] {
+					t.Fatalf("greedy path %v crosses faulty node %d (faults %v)", p, x, faults)
+				}
+				if visited[x] {
+					t.Fatalf("greedy path %v revisits node %d", p, x)
+				}
+				visited[x] = true
+				if i > 0 && !dense.HasEdge(p[i-1], p[i]) {
+					t.Fatalf("greedy path %v uses non-edge %d-%d", p, p[i-1], p[i])
+				}
+			}
+		}
+
+		// Stats/LastStrategy agreement on the full ladder.
+		before := r.Stats
+		if _, err := r.Route(u, v); err != nil {
+			t.Fatalf("Route(%d,%d) with %d <= m+3 faults failed: %v", u, v, f, err)
+		}
+		var deltas = map[string]int{
+			"optimal":  r.Stats.Optimal - before.Optimal,
+			"greedy":   r.Stats.Greedy - before.Greedy,
+			"disjoint": r.Stats.Disjoint - before.Disjoint,
+			"bfs":      r.Stats.BFS - before.BFS,
+		}
+		total := 0
+		for _, d := range deltas {
+			total += d
+		}
+		if total != 1 {
+			t.Fatalf("Route incremented %d strategy counters, want exactly 1 (%+v)", total, r.Stats)
+		}
+		if deltas[r.LastStrategy()] != 1 {
+			t.Fatalf("LastStrategy %q but its counter did not move (deltas %v)", r.LastStrategy(), deltas)
+		}
+	}
+	if greedyHits == 0 {
+		t.Fatal("greedy never succeeded across the sweep; property vacuous")
+	}
+}

@@ -1,0 +1,278 @@
+// Package faults models node failures that change while a workload is
+// running. The paper's fault-tolerance result (Theorem 5, Remark 10) is
+// stated for a static fault set; this package supplies the dynamic
+// counterpart the simulator and the serving layer exercise: a Schedule
+// of timed fail/recover events (with seeded, reproducible generators)
+// and a mutable, concurrency-safe Set with an epoch counter so cached
+// routing state can detect that the fault picture has moved on.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Event fails or recovers one node at the start of one cycle.
+type Event struct {
+	Cycle int  `json:"cycle"`
+	Node  int  `json:"node"`
+	Fail  bool `json:"fail"` // true = node goes down, false = node comes back
+}
+
+// Schedule is a time-ordered list of events. Generators return sorted
+// schedules; hand-built ones should call Sort before use.
+type Schedule []Event
+
+// Sort orders the schedule by cycle, stable within a cycle so a
+// generator's fail-before-recover intent is preserved.
+func (s Schedule) Sort() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Cycle < s[j].Cycle })
+}
+
+// Validate checks every event names a node in [0,order) and a
+// non-negative cycle. Events at or beyond the run length are legal —
+// they simply never fire.
+func (s Schedule) Validate(order int) error {
+	for i, e := range s {
+		if e.Node < 0 || e.Node >= order {
+			return fmt.Errorf("faults: event %d names node %d outside [0,%d)", i, e.Node, order)
+		}
+		if e.Cycle < 0 {
+			return fmt.Errorf("faults: event %d has negative cycle %d", i, e.Cycle)
+		}
+	}
+	return nil
+}
+
+// MaxLive replays the schedule over an initially fault-free network of
+// the given order and returns the peak simultaneous fault count — the
+// quantity the m+3 guarantee is stated against.
+func (s Schedule) MaxLive(order int) int {
+	down := make([]bool, order)
+	live, peak := 0, 0
+	sorted := append(Schedule(nil), s...)
+	sorted.Sort()
+	for _, e := range sorted {
+		switch {
+		case e.Fail && !down[e.Node]:
+			down[e.Node] = true
+			live++
+			if live > peak {
+				peak = live
+			}
+		case !e.Fail && down[e.Node]:
+			down[e.Node] = false
+			live--
+		}
+	}
+	return peak
+}
+
+// ChurnConfig parameterises RandomChurn.
+type ChurnConfig struct {
+	Order   int     // node count of the target network
+	Cycles  int     // cycles over which churn may start
+	MaxLive int     // never exceed this many simultaneous faults
+	Rate    float64 // per-cycle probability of starting a new failure
+	// MinDwell/MaxDwell bound how long a failed node stays down before
+	// its recover event; zero values default to [10, 50].
+	MinDwell int
+	MaxDwell int
+	Seed     int64
+	// Protect lists nodes the generator never fails (e.g. a hotspot
+	// destination whose loss would make delivery trivially impossible).
+	Protect []int
+}
+
+// RandomChurn generates seeded, reproducible node churn: failures start
+// at rate Rate per cycle while fewer than MaxLive nodes are down, and
+// every failure is paired with a recover event after a random dwell.
+// Recoveries may land beyond Cycles; callers that want a fully drained
+// network can clamp or extend their run accordingly.
+func RandomChurn(cfg ChurnConfig) (Schedule, error) {
+	if cfg.Order <= 0 || cfg.Cycles <= 0 {
+		return nil, fmt.Errorf("faults: churn needs positive order and cycles (got %d, %d)", cfg.Order, cfg.Cycles)
+	}
+	if cfg.MaxLive < 0 || cfg.Rate < 0 || cfg.Rate > 1 {
+		return nil, fmt.Errorf("faults: churn max-live %d / rate %v out of range", cfg.MaxLive, cfg.Rate)
+	}
+	minD, maxD := cfg.MinDwell, cfg.MaxDwell
+	if minD <= 0 {
+		minD = 10
+	}
+	if maxD < minD {
+		maxD = minD + 40
+	}
+	protected := make(map[int]bool, len(cfg.Protect))
+	for _, v := range cfg.Protect {
+		if v < 0 || v >= cfg.Order {
+			return nil, fmt.Errorf("faults: protected node %d outside [0,%d)", v, cfg.Order)
+		}
+		protected[v] = true
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	down := make(map[int]int, cfg.MaxLive) // node -> recover cycle
+	var s Schedule
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		for v, until := range down {
+			if until == cycle {
+				delete(down, v)
+			}
+		}
+		if len(down) >= cfg.MaxLive || rng.Float64() >= cfg.Rate {
+			continue
+		}
+		v := rng.Intn(cfg.Order)
+		if protected[v] {
+			continue // skip rather than redraw: keeps the event stream cheap and seeded
+		}
+		if _, isDown := down[v]; isDown {
+			continue
+		}
+		dwell := minD + rng.Intn(maxD-minD+1)
+		down[v] = cycle + dwell
+		s = append(s, Event{Cycle: cycle, Node: v, Fail: true},
+			Event{Cycle: cycle + dwell, Node: v, Fail: false})
+	}
+	s.Sort()
+	return s, nil
+}
+
+// AdversarialAdjacent generates the worst-case placement the paper's
+// connectivity bound is tight against: since HB(m,n) is (m+4)-regular
+// with kappa = m+4, the neighborhood of any node is a minimum cut, so
+// failing k of pivot's neighbors is the most damaging k-fault set
+// adjacent to pivot. Failures start at cycle start, staggered by
+// stagger cycles each, and all recover together dwell cycles after the
+// last one lands.
+func AdversarialAdjacent(g graph.Graph, pivot, k, start, stagger, dwell int) (Schedule, error) {
+	if pivot < 0 || pivot >= g.Order() {
+		return nil, fmt.Errorf("faults: pivot %d outside [0,%d)", pivot, g.Order())
+	}
+	if start < 0 || stagger < 0 || dwell <= 0 {
+		return nil, fmt.Errorf("faults: need start,stagger >= 0 and dwell > 0")
+	}
+	nbrs := g.AppendNeighbors(pivot, nil)
+	sort.Ints(nbrs)
+	// Dedupe (multi-edges are legal in graph.Graph).
+	uniq := nbrs[:0]
+	for i, v := range nbrs {
+		if i == 0 || v != nbrs[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	if k < 0 || k > len(uniq) {
+		return nil, fmt.Errorf("faults: k=%d but pivot %d has %d distinct neighbors", k, pivot, len(uniq))
+	}
+	var s Schedule
+	last := start
+	for i := 0; i < k; i++ {
+		at := start + i*stagger
+		last = at
+		s = append(s, Event{Cycle: at, Node: uniq[i], Fail: true})
+	}
+	for i := 0; i < k; i++ {
+		s = append(s, Event{Cycle: last + dwell, Node: uniq[i], Fail: false})
+	}
+	s.Sort()
+	return s, nil
+}
+
+// Set is a mutable fault set safe for concurrent use. Every successful
+// mutation bumps the epoch, so readers holding derived state (cached
+// routes, rendered responses) can cheaply detect staleness.
+type Set struct {
+	mu    sync.RWMutex
+	mask  []bool
+	count int
+	epoch uint64
+}
+
+// NewSet returns an empty fault set over nodes [0,order).
+func NewSet(order int) *Set {
+	return &Set{mask: make([]bool, order)}
+}
+
+// Order returns the node-range size the set was built for.
+func (s *Set) Order() int { return len(s.mask) }
+
+// Fail marks v faulty; it reports whether the set changed.
+func (s *Set) Fail(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v < 0 || v >= len(s.mask) || s.mask[v] {
+		return false
+	}
+	s.mask[v] = true
+	s.count++
+	s.epoch++
+	return true
+}
+
+// Recover clears v; it reports whether the set changed.
+func (s *Set) Recover(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v < 0 || v >= len(s.mask) || !s.mask[v] {
+		return false
+	}
+	s.mask[v] = false
+	s.count--
+	s.epoch++
+	return true
+}
+
+// Apply executes one event against the set.
+func (s *Set) Apply(e Event) bool {
+	if e.Fail {
+		return s.Fail(e.Node)
+	}
+	return s.Recover(e.Node)
+}
+
+// Faulty reports whether v is currently down.
+func (s *Set) Faulty(v int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return v >= 0 && v < len(s.mask) && s.mask[v]
+}
+
+// Count returns the live fault count.
+func (s *Set) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// Epoch returns the mutation counter; it increases on every effective
+// Fail or Recover.
+func (s *Set) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// List returns the sorted faulty nodes.
+func (s *Set) List() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, 0, s.count)
+	for v, down := range s.mask {
+		if down {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Mask copies the fault mask (index = node).
+func (s *Set) Mask() []bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]bool(nil), s.mask...)
+}

@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestScheduleSortAndValidate(t *testing.T) {
+	s := Schedule{
+		{Cycle: 9, Node: 1, Fail: false},
+		{Cycle: 2, Node: 1, Fail: true},
+		{Cycle: 2, Node: 3, Fail: true},
+	}
+	s.Sort()
+	if s[0].Cycle != 2 || s[2].Cycle != 9 {
+		t.Fatalf("sort order wrong: %+v", s)
+	}
+	if s[0].Node != 1 || s[1].Node != 3 {
+		t.Fatalf("sort is not stable within a cycle: %+v", s)
+	}
+	if err := s.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Schedule{{Cycle: 0, Node: 4}}).Validate(4); err == nil {
+		t.Error("out-of-range node validated")
+	}
+	if err := (Schedule{{Cycle: -1, Node: 0}}).Validate(4); err == nil {
+		t.Error("negative cycle validated")
+	}
+}
+
+func TestMaxLive(t *testing.T) {
+	s := Schedule{
+		{Cycle: 0, Node: 0, Fail: true},
+		{Cycle: 1, Node: 1, Fail: true},
+		{Cycle: 2, Node: 0, Fail: false},
+		{Cycle: 3, Node: 2, Fail: true},
+		{Cycle: 3, Node: 2, Fail: true}, // duplicate fail must not double-count
+	}
+	if got := s.MaxLive(4); got != 2 {
+		t.Errorf("MaxLive = %d, want 2", got)
+	}
+}
+
+func TestRandomChurnReproducibleAndBounded(t *testing.T) {
+	cfg := ChurnConfig{Order: 96, Cycles: 500, MaxLive: 5, Rate: 0.2, Seed: 7, Protect: []int{0, 1}}
+	a, err := RandomChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("churn generated no events")
+	}
+	if err := a.Validate(96); err != nil {
+		t.Fatal(err)
+	}
+	if live := a.MaxLive(96); live > 5 {
+		t.Errorf("MaxLive %d exceeds configured bound 5", live)
+	}
+	fails, recovers := 0, 0
+	for _, e := range a {
+		if e.Node == 0 || e.Node == 1 {
+			t.Fatalf("protected node in event %+v", e)
+		}
+		if e.Fail {
+			fails++
+		} else {
+			recovers++
+		}
+	}
+	if fails != recovers {
+		t.Errorf("%d fails but %d recovers: every failure must be paired", fails, recovers)
+	}
+
+	if c, err := RandomChurn(ChurnConfig{Order: 96, Cycles: 500, MaxLive: 5, Rate: 0.2, Seed: 8}); err != nil {
+		t.Fatal(err)
+	} else if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestAdversarialAdjacent(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	k := hb.M() + 3
+	s, err := AdversarialAdjacent(hb, 0, k, 5, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(hb.Order()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxLive(hb.Order()); got != k {
+		t.Errorf("MaxLive = %d, want %d", got, k)
+	}
+	nbr := map[int]bool{}
+	for _, w := range hb.AppendNeighbors(0, nil) {
+		nbr[w] = true
+	}
+	for _, e := range s {
+		if !nbr[e.Node] {
+			t.Errorf("event %+v fails a non-neighbor of the pivot", e)
+		}
+	}
+	if _, err := AdversarialAdjacent(hb, 0, hb.Degree()+1, 0, 1, 10); err == nil {
+		t.Error("k beyond the neighborhood size was accepted")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(8)
+	if s.Fail(-1) || s.Fail(8) {
+		t.Error("out-of-range Fail reported a change")
+	}
+	if !s.Fail(3) || s.Fail(3) {
+		t.Error("Fail idempotence broken")
+	}
+	if !s.Faulty(3) || s.Count() != 1 {
+		t.Errorf("state after Fail: faulty=%v count=%d", s.Faulty(3), s.Count())
+	}
+	e := s.Epoch()
+	if !s.Apply(Event{Node: 5, Fail: true}) {
+		t.Error("Apply(fail) reported no change")
+	}
+	if s.Epoch() != e+1 {
+		t.Errorf("epoch %d after one mutation from %d", s.Epoch(), e)
+	}
+	if got := s.List(); !reflect.DeepEqual(got, []int{3, 5}) {
+		t.Errorf("List = %v", got)
+	}
+	mask := s.Mask()
+	if !mask[3] || !mask[5] || len(mask) != 8 {
+		t.Errorf("Mask = %v", mask)
+	}
+	mask[3] = false // must be a copy
+	if !s.Faulty(3) {
+		t.Error("Mask aliases internal state")
+	}
+	if !s.Recover(3) || s.Recover(3) {
+		t.Error("Recover idempotence broken")
+	}
+	if s.Count() != 1 {
+		t.Errorf("count %d after recover", s.Count())
+	}
+}
+
+// TestSetConcurrent hammers the set from many goroutines; run under
+// -race this is the concurrency-safety check.
+func TestSetConcurrent(t *testing.T) {
+	s := NewSet(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v := (g*31 + i) % 64
+				s.Fail(v)
+				_ = s.Faulty(v)
+				_ = s.Count()
+				_ = s.List()
+				s.Recover(v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Count() != 0 {
+		t.Errorf("count %d after balanced fail/recover", s.Count())
+	}
+	if s.Epoch() == 0 {
+		t.Error("epoch never advanced")
+	}
+}

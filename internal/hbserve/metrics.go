@@ -22,6 +22,8 @@ type Metrics struct {
 	requests  map[string]*atomic.Uint64    // "endpoint\xffcode" -> count
 	durations map[string]*latencyHistogram // endpoint -> histogram
 	inflight  atomic.Int64
+	panics    atomic.Uint64 // handler panics recovered by instrument
+	shed      atomic.Uint64 // requests refused by load shedding
 	start     time.Time
 }
 
@@ -66,6 +68,18 @@ func (m *Metrics) RequestEnd(endpoint string, code int, elapsed time.Duration) {
 
 // InFlight returns the current in-flight request count.
 func (m *Metrics) InFlight() int64 { return m.inflight.Load() }
+
+// PanicRecovered counts one handler panic turned into a 500.
+func (m *Metrics) PanicRecovered() { m.panics.Add(1) }
+
+// Panics returns the recovered-panic count.
+func (m *Metrics) Panics() uint64 { return m.panics.Load() }
+
+// LoadShed counts one request refused with a 503 by the in-flight bound.
+func (m *Metrics) LoadShed() { m.shed.Add(1) }
+
+// Sheds returns the load-shed count.
+func (m *Metrics) Sheds() uint64 { return m.shed.Load() }
 
 func (m *Metrics) counter(endpoint string, code int) *atomic.Uint64 {
 	key := endpoint + "\xff" + strconv.Itoa(code)
@@ -115,6 +129,10 @@ func (m *Metrics) WriteTo(w io.Writer, cache *RouteCache, pool *Pool) {
 		time.Since(m.start).Seconds())
 	fmt.Fprintf(w, "# HELP hbd_inflight_requests Requests currently being served.\n# TYPE hbd_inflight_requests gauge\nhbd_inflight_requests %d\n",
 		m.inflight.Load())
+	fmt.Fprintf(w, "# HELP hbd_panics_total Handler panics recovered and converted to 500s.\n# TYPE hbd_panics_total counter\nhbd_panics_total %d\n",
+		m.panics.Load())
+	fmt.Fprintf(w, "# HELP hbd_load_shed_total Requests refused with 503 by the in-flight bound.\n# TYPE hbd_load_shed_total counter\nhbd_load_shed_total %d\n",
+		m.shed.Load())
 
 	m.mu.Lock()
 	reqKeys := make([]string, 0, len(m.requests))

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -35,6 +36,10 @@ type Pool struct {
 	lru     *list.List // front = most recently used; values are Dims
 
 	evictions uint64
+
+	// construct builds an instance; tests override it to hold a build
+	// open and race evictions against it. Nil means core.New.
+	construct func(d Dims) (*core.HyperButterfly, error)
 }
 
 // DefaultPoolMax bounds the number of live instances.
@@ -45,10 +50,11 @@ const DefaultPoolMax = 8
 const DefaultMaxOrder = 1 << 17
 
 type poolEntry struct {
-	once sync.Once
-	hb   *core.HyperButterfly
-	err  error
-	elem *list.Element
+	once  sync.Once
+	built atomic.Bool // set after once.Do completes; evictions prefer built entries
+	hb    *core.HyperButterfly
+	err   error
+	elem  *list.Element
 }
 
 // Get returns the HB(d.M, d.N) instance, constructing it on first use
@@ -80,27 +86,53 @@ func (p *Pool) Get(d Dims) (*core.HyperButterfly, error) {
 		if max <= 0 {
 			max = DefaultPoolMax
 		}
+		// Evict from the LRU end, but never the entry this call just
+		// inserted (a caller must get back the instance it asked for) and
+		// never an entry another goroutine is still constructing —
+		// evicting mid-build would let a concurrent Get for the same dims
+		// start a second build of the same instance. If every candidate
+		// is in-flight the pool overshoots Max briefly instead.
 		for p.lru.Len() > max {
-			oldest := p.lru.Back()
-			p.lru.Remove(oldest)
-			delete(p.entries, oldest.Value.(Dims))
+			victim := (*list.Element)(nil)
+			for el := p.lru.Back(); el != nil && el != e.elem; el = el.Prev() {
+				if p.entries[el.Value.(Dims)].built.Load() {
+					victim = el
+					break
+				}
+			}
+			if victim == nil {
+				break
+			}
+			p.lru.Remove(victim)
+			delete(p.entries, victim.Value.(Dims))
 			p.evictions++
 		}
 	}
 	p.mu.Unlock()
 
-	e.once.Do(func() { e.hb, e.err = core.New(d.M, d.N) })
+	e.once.Do(func() {
+		if p.construct != nil {
+			e.hb, e.err = p.construct(d)
+		} else {
+			e.hb, e.err = core.New(d.M, d.N)
+		}
+		e.built.Store(true)
+	})
 	return e.hb, e.err
 }
 
-// Len returns the number of resident instances.
+// Len returns the number of resident constructed instances; entries
+// still being built by a concurrent Get are not counted.
 func (p *Pool) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.lru == nil {
-		return 0
+	n := 0
+	for _, e := range p.entries {
+		if e.built.Load() {
+			n++
+		}
 	}
-	return p.lru.Len()
+	return n
 }
 
 // Evictions returns the number of instances dropped by the LRU bound.

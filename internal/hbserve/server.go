@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -39,15 +40,32 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 
+	timeout     time.Duration // per-request deadline
+	maxInFlight int64         // load-shedding bound
+
 	// scratch pools the BFS kernel state used by verify=1 requests, so
 	// verification costs one traversal and zero steady-state
 	// allocations per request.
 	scratch sync.Pool
 
+	// routers holds one incremental fault router per resident dims, so
+	// consecutive /faultroute requests pay a fault-set diff instead of a
+	// per-request router rebuild.
+	routersMu sync.Mutex
+	routers   map[Dims]*instanceRouter
+
 	// testHook, when set, runs inside every instrumented request after
 	// the in-flight gauge is raised; tests use it to hold requests open
 	// across a drain.
 	testHook func(endpoint string)
+}
+
+// instanceRouter serialises access to one instance's fault router: the
+// SetFaults/Route/stats sequence must be atomic per request even though
+// the router itself is also internally synchronised.
+type instanceRouter struct {
+	mu sync.Mutex
+	r  *faultroute.Router
 }
 
 // Config sizes a Server. Zero values select the defaults.
@@ -56,11 +74,32 @@ type Config struct {
 	MaxOrder   int // max nodes per instance (DefaultMaxOrder)
 	CacheSize  int // route-cache capacity in entries; < 0 disables
 	CacheShard int // route-cache shard count (DefaultCacheShards)
+	// RequestTimeout bounds each instrumented request via its context;
+	// 0 means DefaultRequestTimeout, < 0 disables the deadline.
+	RequestTimeout time.Duration
+	// MaxInFlight sheds load with a 503 + Retry-After once this many
+	// instrumented requests are already in flight; 0 means
+	// DefaultMaxInFlight, < 0 disables shedding.
+	MaxInFlight int
 }
 
 // DefaultCacheSize holds rendered /route and /paths bodies; entries
 // are small (a path is tens of ints) so this is a few MB at worst.
 const DefaultCacheSize = 4096
+
+// DefaultRequestTimeout bounds a single request; generous enough for a
+// cold conformance run on the largest on-demand instance.
+const DefaultRequestTimeout = 10 * time.Second
+
+// DefaultMaxInFlight is the load-shedding bound: far above any healthy
+// concurrency for these µs-to-ms handlers, so it only trips when the
+// service is already drowning.
+const DefaultMaxInFlight = 512
+
+// maxFaultRouters bounds the per-dims router cache; beyond it the map
+// is reset (routers rebuild in microseconds, the bound only stops
+// growth under adversarial dims sweeps).
+const maxFaultRouters = 16
 
 // NewServer returns a ready-to-serve Server.
 func NewServer(cfg Config) *Server {
@@ -68,11 +107,22 @@ func NewServer(cfg Config) *Server {
 	if size == 0 {
 		size = DefaultCacheSize
 	}
+	timeout := cfg.RequestTimeout
+	if timeout == 0 {
+		timeout = DefaultRequestTimeout
+	}
+	maxInFlight := int64(cfg.MaxInFlight)
+	if maxInFlight == 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
 	s := &Server{
-		pool:    &Pool{Max: cfg.PoolMax, MaxOrder: cfg.MaxOrder},
-		cache:   NewRouteCache(size, cfg.CacheShard),
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
+		pool:        &Pool{Max: cfg.PoolMax, MaxOrder: cfg.MaxOrder},
+		cache:       NewRouteCache(size, cfg.CacheShard),
+		metrics:     NewMetrics(),
+		mux:         http.NewServeMux(),
+		timeout:     timeout,
+		maxInFlight: maxInFlight,
+		routers:     make(map[Dims]*instanceRouter),
 	}
 	s.scratch.New = func() any { return graph.NewScratch(0) }
 	s.mux.HandleFunc("/route", s.instrument("route", s.handleRoute))
@@ -132,30 +182,80 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, grace time.Duration
 	return nil
 }
 
-// statusWriter captures the response code for metrics.
+// statusWriter captures the response code for metrics and whether a
+// header has gone out (after that, a panic recovery can only abort, not
+// rewrite the response).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the in-flight gauge, the per-endpoint
-// counter and the latency histogram.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the serving-resilience middleware:
+// the in-flight gauge, per-endpoint counter and latency histogram;
+// load shedding (503 + Retry-After beyond maxInFlight, so an
+// overloaded daemon degrades crisply instead of queueing without
+// bound); a per-request deadline on the context; and panic recovery
+// that answers 500 and increments a metric instead of killing the
+// daemon.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.RequestStart()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.PanicRecovered()
+				sw.code = http.StatusInternalServerError
+				if !sw.wrote {
+					writeErr(sw, &httpError{
+						code: http.StatusInternalServerError,
+						msg:  fmt.Sprintf("internal error: %v", p),
+					})
+				}
+			}
+			s.metrics.RequestEnd(endpoint, sw.code, time.Since(start))
+		}()
+		if s.maxInFlight > 0 && s.metrics.InFlight() > s.maxInFlight {
+			s.metrics.LoadShed()
+			sw.Header().Set("Retry-After", "1")
+			writeErr(sw, &httpError{
+				code: http.StatusServiceUnavailable,
+				msg:  fmt.Sprintf("over capacity: %d requests in flight", s.metrics.InFlight()),
+			})
+			return
+		}
 		if s.testHook != nil {
 			s.testHook(endpoint)
 		}
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		start := time.Now()
+		if s.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		h(sw, r)
-		s.metrics.RequestEnd(endpoint, sw.code, time.Since(start))
 	}
+}
+
+// checkDeadline maps an already-expired request context to a 503 the
+// heavy handlers (/conformance, /faultroute) consult before starting
+// expensive work.
+func checkDeadline(r *http.Request) error {
+	if err := r.Context().Err(); err != nil {
+		return &httpError{code: http.StatusServiceUnavailable, msg: "request deadline exceeded before work started"}
+	}
+	return nil
 }
 
 // httpError is an error carrying a status code.
@@ -395,36 +495,75 @@ func (s *Server) handleFaultRoute(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	router, err := faultroute.New(hb, faults)
+	if err := checkDeadline(r); err != nil {
+		writeErr(w, err)
+		return
+	}
+	ir, err := s.routerFor(d, hb)
 	if err != nil {
 		writeErr(w, badRequest("%v", err))
 		return
 	}
-	path, err := router.Route(u, v)
+	// The SetFaults/Route/stats sequence must see one consistent fault
+	// set, so it holds the instance lock; the incremental router keeps
+	// every cached path that survives the diff.
+	ir.mu.Lock()
+	if err := ir.r.SetFaults(faults); err != nil {
+		ir.mu.Unlock()
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	path, err := ir.r.Route(u, v)
 	if err != nil {
+		ir.mu.Unlock()
 		// A routing failure is a valid answer about the query, not a
 		// server fault: faulty endpoints or a disconnecting fault set.
 		writeErr(w, &httpError{code: http.StatusUnprocessableEntity, msg: err.Error()})
 		return
 	}
-	writeJSON(w, faultRouteResponse{
+	resp := faultRouteResponse{
 		M: d.M, N: d.N, U: u, V: v,
 		Faults:          faults,
-		WithinGuarantee: router.WithinGuarantee(),
-		Strategy:        router.LastStrategy(),
+		WithinGuarantee: ir.r.WithinGuarantee(),
+		Strategy:        ir.r.LastStrategy(),
 		Path:            path,
-	})
+	}
+	ir.mu.Unlock()
+	writeJSON(w, resp)
 }
 
-// faultsParam parses faults=3,17,40 (empty means no faults).
+// routerFor returns the resident incremental router for d, building it
+// on first use. The map is bounded by maxFaultRouters and simply reset
+// when full — routers rebuild in microseconds.
+func (s *Server) routerFor(d Dims, hb *core.HyperButterfly) (*instanceRouter, error) {
+	s.routersMu.Lock()
+	defer s.routersMu.Unlock()
+	if ir, ok := s.routers[d]; ok {
+		return ir, nil
+	}
+	if len(s.routers) >= maxFaultRouters {
+		s.routers = make(map[Dims]*instanceRouter)
+	}
+	r, err := faultroute.New(hb, nil)
+	if err != nil {
+		return nil, err
+	}
+	ir := &instanceRouter{r: r}
+	s.routers[d] = ir
+	return ir, nil
+}
+
+// faultsParam parses faults=3,17,40 into a sorted, deduplicated,
+// always-non-nil slice, so the echoed "faults" field is a canonical JSON
+// array ([] rather than null, 3,3,1 rendered as [1,3]) regardless of how
+// the caller spelled the query.
 func faultsParam(r *http.Request, hb *core.HyperButterfly) ([]int, error) {
+	out := []int{}
 	raw := r.URL.Query().Get("faults")
 	if raw == "" {
-		return nil, nil
+		return out, nil
 	}
-	parts := strings.Split(raw, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
+	for _, p := range strings.Split(raw, ",") {
 		f, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
 			return nil, badRequest("fault id %q is not an integer", p)
@@ -434,7 +573,15 @@ func faultsParam(r *http.Request, hb *core.HyperButterfly) ([]int, error) {
 		}
 		out = append(out, f)
 	}
-	return out, nil
+	sort.Ints(out)
+	j := 0
+	for i, f := range out {
+		if i == 0 || f != out[j-1] {
+			out[j] = f
+			j++
+		}
+	}
+	return out[:j], nil
 }
 
 type infoResponse struct {
@@ -477,6 +624,10 @@ func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
 	if hb.Order() > maxConformanceOrder {
 		writeErr(w, badRequest("conformance on %v (%d nodes) exceeds the on-demand cap %d",
 			d, hb.Order(), maxConformanceOrder))
+		return
+	}
+	if err := checkDeadline(r); err != nil {
+		writeErr(w, err)
 		return
 	}
 	rep := conformance.Run(

@@ -56,6 +56,9 @@ func RunAdaptive(a Adaptive, cfg Config) (Result, error) {
 	if cfg.Rate < 0 || cfg.Rate > 1 {
 		return Result{}, fmt.Errorf("simnet: injection rate %v outside [0,1]", cfg.Rate)
 	}
+	if len(cfg.Schedule) > 0 || cfg.Rerouter != nil {
+		return Result{}, fmt.Errorf("simnet: the adaptive engine does not support dynamic fault schedules (use Run)")
+	}
 	n := a.Order()
 	if cfg.Faulty != nil && len(cfg.Faulty) != n {
 		return Result{}, fmt.Errorf("simnet: fault mask has %d entries for %d nodes", len(cfg.Faulty), n)
@@ -112,8 +115,9 @@ func RunAdaptive(a Adaptive, cfg Config) (Result, error) {
 			if !cfg.injecting(cycle) || !usable(v) || rng.Float64() >= cfg.Rate {
 				continue
 			}
-			dst := destFor(cfg.Pattern, rng, perm, n, v)
-			if dst == v || !usable(dst) {
+			dst, ok := drawDest(cfg.Pattern, rng, perm, n, v, usable)
+			if !ok {
+				res.Skipped++
 				continue
 			}
 			res.Injected++
@@ -186,4 +190,31 @@ func destFor(p Pattern, rng *rand.Rand, perm []int, n, src int) int {
 		return 0
 	}
 	return src
+}
+
+// uniformRedraws bounds destination resampling; with at least one
+// usable non-source node the expected redraw count is tiny, and a
+// network that faulty deserves a skip, not a spin.
+const uniformRedraws = 64
+
+// drawDest picks a usable destination distinct from src, or reports
+// failure. Uniform resamples (a uniform draw hitting src or a faulty
+// node carries no pattern intent, so redrawing preserves the configured
+// injection rate); the deterministic patterns have exactly one choice
+// per source, so an unusable choice is a skip the caller must count —
+// silently suppressing it would quietly undershoot Config.Rate.
+func drawDest(p Pattern, rng *rand.Rand, perm []int, n, src int, usable func(int) bool) (int, bool) {
+	if p == Uniform {
+		for try := 0; try < uniformRedraws; try++ {
+			if d := rng.Intn(n); d != src && usable(d) {
+				return d, true
+			}
+		}
+		return 0, false
+	}
+	d := destFor(p, rng, perm, n, src)
+	if d == src || !usable(d) {
+		return 0, false
+	}
+	return d, true
 }

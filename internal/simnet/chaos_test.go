@@ -1,0 +1,267 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultroute"
+	"repro/internal/faults"
+)
+
+// pathGraph is the line 0-1-...-n-1 with shortest-path source routing —
+// small enough to hand-verify fault dynamics.
+type pathGraph struct{ n int }
+
+func (g pathGraph) Order() int { return g.n }
+
+func (g pathGraph) AppendNeighbors(v int, buf []int) []int {
+	if v > 0 {
+		buf = append(buf, v-1)
+	}
+	if v < g.n-1 {
+		buf = append(buf, v+1)
+	}
+	return buf
+}
+
+func (g pathGraph) route(u, v int) []int {
+	step := 1
+	if v < u {
+		step = -1
+	}
+	out := []int{u}
+	for x := u; x != v; {
+		x += step
+		out = append(out, x)
+	}
+	return out
+}
+
+func pathTopology(n int) Routed {
+	g := pathGraph{n: n}
+	return Routed{Graph: g, Route: g.route}
+}
+
+// newChaosRerouter builds the faultroute-backed rerouter for hb.
+func newChaosRerouter(t *testing.T, hb *core.HyperButterfly) *FaultRerouter {
+	t.Helper()
+	r, err := faultroute.New(hb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &FaultRerouter{R: r}
+}
+
+// TestChaosRerouteAndConservation is the headline dynamic-fault test:
+// random churn within the m+3 bound on HB(2,3), with in-flight
+// rerouting backed by the incremental fault router. Every injected
+// packet must be accounted for (delivered, in flight, or dropped by an
+// unavoidable endpoint/position loss), reroutes must actually happen,
+// and no reroute may fail while the fault count is within the
+// guarantee.
+func TestChaosRerouteAndConservation(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	sch, err := faults.RandomChurn(faults.ChurnConfig{
+		Order:    hb.Order(),
+		Cycles:   400,
+		MaxLive:  hb.M() + 3,
+		Rate:     0.15,
+		MinDwell: 20,
+		MaxDwell: 60,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.MaxLive(hb.Order()) > hb.M()+3 {
+		t.Fatalf("schedule exceeds the m+3 bound")
+	}
+	rr := newChaosRerouter(t, hb)
+	res, err := Run(Routed{Graph: hb, Route: hb.Route}, Config{
+		Cycles:       800,
+		InjectCycles: 400,
+		Rate:         0.05,
+		Pattern:      Uniform,
+		Seed:         9,
+		Schedule:     sch,
+		Rerouter:     rr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != res.Delivered+res.InFlight+res.Dropped {
+		t.Errorf("conservation broken: injected %d != delivered %d + in-flight %d + dropped %d",
+			res.Injected, res.Delivered, res.InFlight, res.Dropped)
+	}
+	if res.Reroutes == 0 {
+		t.Error("no in-flight reroutes happened; the schedule never hit a live path")
+	}
+	if rr.Violations != 0 {
+		t.Errorf("%d reroute failures within the m+3 guarantee", rr.Violations)
+	}
+	if res.InFlight != 0 {
+		t.Errorf("%d packets still in flight after a %d-cycle drain window", res.InFlight, 400)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// TestChaosDeterminism locks reproducibility: identical config and
+// seeds must give identical results, including the fault-dynamics
+// counters.
+func TestChaosDeterminism(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	run := func() Result {
+		sch, err := faults.RandomChurn(faults.ChurnConfig{
+			Order: hb.Order(), Cycles: 200, MaxLive: hb.M() + 3, Rate: 0.2, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Routed{Graph: hb, Route: hb.Route}, Config{
+			Cycles: 400, InjectCycles: 200, Rate: 0.05, Pattern: Uniform, Seed: 4,
+			Schedule: sch, Rerouter: newChaosRerouter(t, hb),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seeds, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestQueuedPacketsLostAtFailedNode pins the loss semantics on a line
+// graph where every reroute is impossible: failing an interior node
+// must drop (not leak) the packets queued there and the packets whose
+// remaining path crosses it, and recovery must let later injections
+// through again.
+func TestQueuedPacketsLostAtFailedNode(t *testing.T) {
+	top := pathTopology(6)
+	res, err := Run(top, Config{
+		Cycles:       120, // rate-1 reversal oversubscribes the middle links; leave room to drain
+		InjectCycles: 10,
+		Rate:         1,
+		Pattern:      Reversal, // 0<->5, 1<->4, 2<->3: everything crosses the middle
+		Seed:         1,
+		Schedule: faults.Schedule{
+			{Cycle: 3, Node: 2, Fail: true},
+			{Cycle: 10, Node: 2, Fail: false},
+		},
+		// No Rerouter: on a line there is no detour anyway.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Error("failing the middle of a line dropped nothing")
+	}
+	if res.Reroutes != 0 {
+		t.Errorf("%d reroutes without a Rerouter", res.Reroutes)
+	}
+	if res.Injected != res.Delivered+res.InFlight+res.Dropped {
+		t.Errorf("conservation broken: %+v", res)
+	}
+	if res.InFlight != 0 {
+		t.Errorf("%d packets leaked in queues", res.InFlight)
+	}
+	if res.Delivered == 0 {
+		t.Error("nothing delivered after recovery")
+	}
+	// While node 2 is down it neither injects nor receives: its own
+	// injection slots and any slot whose destination is down are skipped.
+	if res.Skipped == 0 {
+		t.Error("no skips recorded while the middle node was down")
+	}
+}
+
+// TestSkippedCountsSuppressedInjections locks the satellite bugfix:
+// deterministic patterns whose only destination is the source must
+// count the suppressed slot instead of silently undershooting Rate.
+func TestSkippedCountsSuppressedInjections(t *testing.T) {
+	// Reversal on odd order: the midpoint (node 2 of 5) maps to itself.
+	res, err := Run(pathTopology(5), Config{
+		Cycles: 10, Rate: 1, Pattern: Reversal, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 10 {
+		t.Errorf("Reversal midpoint: skipped %d, want 10 (one per cycle)", res.Skipped)
+	}
+
+	// HotSpot: the hotspot itself has no valid destination.
+	res, err = Run(pathTopology(4), Config{
+		Cycles: 8, Rate: 1, Pattern: HotSpot, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 8 {
+		t.Errorf("HotSpot source: skipped %d, want 8", res.Skipped)
+	}
+
+	// Uniform resamples instead of skipping: on order 2 every draw that
+	// lands on the source redraws to the other node, so the effective
+	// injection rate is exactly Rate.
+	res, err = Run(pathTopology(2), Config{
+		Cycles: 50, Rate: 1, Pattern: Uniform, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 0 {
+		t.Errorf("Uniform skipped %d, want 0 (resampling)", res.Skipped)
+	}
+	if res.Injected != 2*50 {
+		t.Errorf("Uniform injected %d, want every slot (100)", res.Injected)
+	}
+
+	// The adaptive engine shares the accounting.
+	ares, err := RunAdaptive(MinimalAdaptive(pathGraph{n: 5}, func(u, v int) int {
+		if u > v {
+			return u - v
+		}
+		return v - u
+	}), Config{Cycles: 10, Rate: 1, Pattern: Reversal, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.Skipped != 10 {
+		t.Errorf("adaptive Reversal midpoint: skipped %d, want 10", ares.Skipped)
+	}
+}
+
+// TestAdaptiveRejectsSchedule: dynamic faults are a source-routed
+// engine feature; the adaptive engine must say so rather than silently
+// ignore the schedule.
+func TestAdaptiveRejectsSchedule(t *testing.T) {
+	a := MinimalAdaptive(pathGraph{n: 4}, func(u, v int) int {
+		if u > v {
+			return u - v
+		}
+		return v - u
+	})
+	_, err := RunAdaptive(a, Config{
+		Cycles: 10, Rate: 0.1, Pattern: Uniform, Seed: 1,
+		Schedule: faults.Schedule{{Cycle: 1, Node: 1, Fail: true}},
+	})
+	if err == nil {
+		t.Error("RunAdaptive accepted a fault schedule")
+	}
+}
+
+// TestScheduleValidation: events naming nonexistent nodes are rejected
+// up front.
+func TestScheduleValidation(t *testing.T) {
+	_, err := Run(pathTopology(4), Config{
+		Cycles: 10, Rate: 0.1, Pattern: Uniform, Seed: 1,
+		Schedule: faults.Schedule{{Cycle: 0, Node: 4, Fail: true}},
+	})
+	if err == nil {
+		t.Error("out-of-range schedule event accepted")
+	}
+}

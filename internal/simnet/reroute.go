@@ -1,0 +1,32 @@
+package simnet
+
+import (
+	"repro/internal/faultroute"
+)
+
+// FaultRerouter adapts an incremental faultroute.Router to the engine's
+// Rerouter interface. It additionally keeps score against the paper's
+// guarantee: every reroute failure that happens while the live fault
+// count is within the m+3 bound is a Remark 10 counterexample, so chaos
+// harnesses gate on Violations == 0.
+type FaultRerouter struct {
+	R *faultroute.Router
+	// Violations counts reroute failures observed while the router's
+	// fault count was within the m+3 guarantee.
+	Violations int
+}
+
+// Fail marks v faulty in the underlying router.
+func (f *FaultRerouter) Fail(v int) { f.R.Fail(v) }
+
+// Recover clears v in the underlying router.
+func (f *FaultRerouter) Recover(v int) { f.R.Recover(v) }
+
+// Reroute returns a fault-avoiding cur..dst path.
+func (f *FaultRerouter) Reroute(cur, dst int) ([]int, error) {
+	p, err := f.R.Route(cur, dst)
+	if err != nil && f.R.WithinGuarantee() {
+		f.Violations++
+	}
+	return p, err
+}

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 )
 
@@ -67,6 +68,18 @@ func (p Pattern) String() string {
 	return fmt.Sprintf("pattern(%d)", int(p))
 }
 
+// Rerouter supplies fault-avoiding routes while a Schedule mutates the
+// fault set mid-run. The engine mirrors every effective fail/recover
+// into it, so implementations (an incremental faultroute.Router behind
+// an adapter) always see the live fault picture. Reroute must return a
+// cur..dst walk over real edges avoiding every currently-faulty node,
+// or an error when no such walk exists.
+type Rerouter interface {
+	Fail(v int)
+	Recover(v int)
+	Reroute(cur, dst int) ([]int, error)
+}
+
 // Config parameterises a run.
 type Config struct {
 	Cycles int     // simulated cycles
@@ -78,7 +91,19 @@ type Config struct {
 	InjectCycles int
 	Pattern
 	Seed   int64
-	Faulty []bool // nodes that neither inject nor relay (optional)
+	Faulty []bool // nodes faulty from cycle 0 (optional)
+
+	// Schedule fails and recovers nodes mid-run (events apply at the
+	// start of their cycle, before injection). Packets queued at a node
+	// when it fails are lost and counted in Result.Dropped; packets
+	// elsewhere whose remaining path crosses a newly-faulty node are
+	// re-routed from their current position via Rerouter and counted in
+	// Result.Reroutes — or dropped if their destination failed, no
+	// Rerouter is set, or the Rerouter finds no path.
+	Schedule faults.Schedule
+	// Rerouter, when non-nil, repairs in-flight packets after a failure
+	// and routes injections whose static route crosses a live fault.
+	Rerouter Rerouter
 }
 
 // injecting reports whether cycle is within the injection window.
@@ -100,6 +125,12 @@ type Result struct {
 	AvgHops    float64 `json:"avg_hops"`
 	Throughput float64 `json:"throughput"` // delivered packets per cycle
 	MaxQueue   int     `json:"max_queue"`  // peak per-link queue occupancy
+
+	// Dynamic-fault and injection accounting (additive: zero on runs
+	// without a Schedule and with no suppressed injections).
+	Reroutes int `json:"reroutes"` // in-flight packets re-pathed around new faults
+	Dropped  int `json:"dropped"`  // packets lost to fault dynamics
+	Skipped  int `json:"skipped"`  // injection slots suppressed (self/faulty destination)
 }
 
 type packet struct {
@@ -121,12 +152,22 @@ func Run(t Topology, cfg Config) (Result, error) {
 	if cfg.Faulty != nil && len(cfg.Faulty) != n {
 		return Result{}, fmt.Errorf("simnet: fault mask has %d entries for %d nodes", len(cfg.Faulty), n)
 	}
+	events := append(faults.Schedule(nil), cfg.Schedule...)
+	events.Sort()
+	if err := events.Validate(n); err != nil {
+		return Result{}, err
+	}
+	dynamic := len(events) > 0
+
 	d := graph.Build(t)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	perm := rng.Perm(n) // used by Permutation
-	dest := func(src int) int { return destFor(cfg.Pattern, rng, perm, n, src) }
-	usable := func(v int) bool { return cfg.Faulty == nil || !cfg.Faulty[v] }
+	faulty := make([]bool, n)
+	if cfg.Faulty != nil {
+		copy(faulty, cfg.Faulty)
+	}
+	usable := func(v int) bool { return !faulty[v] }
 
 	// queues[v][k] is the FIFO for the k-th out-edge of v.
 	queues := make([][][]*packet, n)
@@ -153,21 +194,143 @@ func Run(t Topology, cfg Config) (Result, error) {
 		}
 	}
 
+	// rerouteInFlight repairs every queued packet whose remaining path
+	// crosses a (newly) faulty node: re-path from its current position
+	// via the Rerouter, or drop it when its destination failed, no
+	// Rerouter is configured, or no fault-free path exists.
+	rerouteInFlight := func() error {
+		var pending []*packet
+		for v := 0; v < n; v++ {
+			if faulty[v] {
+				continue
+			}
+			for k := range queues[v] {
+				q := queues[v][k]
+				keep := q[:0]
+				for _, p := range q {
+					crossesFault := false
+					for _, x := range p.path[p.idx+1:] {
+						if faulty[x] {
+							crossesFault = true
+							break
+						}
+					}
+					if !crossesFault {
+						keep = append(keep, p)
+						continue
+					}
+					dst := int(p.path[len(p.path)-1])
+					if faulty[dst] || cfg.Rerouter == nil {
+						res.Dropped++
+						continue
+					}
+					walk, err := cfg.Rerouter.Reroute(v, dst)
+					if err != nil {
+						res.Dropped++
+						continue
+					}
+					if len(walk) < 2 || walk[0] != v || walk[len(walk)-1] != dst {
+						return fmt.Errorf("simnet: bad reroute %v for %d->%d", walk, v, dst)
+					}
+					np := make([]int32, len(walk))
+					for i, x := range walk {
+						if faulty[x] {
+							return fmt.Errorf("simnet: reroute for %d->%d crosses faulty node %d", v, dst, x)
+						}
+						np[i] = int32(x)
+					}
+					p.path, p.idx = np, 0
+					res.Reroutes++
+					pending = append(pending, p)
+				}
+				for i := len(keep); i < len(q); i++ {
+					q[i] = nil // drop references so lost packets are collectable
+				}
+				queues[v][k] = keep
+			}
+		}
+		for _, p := range pending {
+			enqueue(p)
+		}
+		return nil
+	}
+
 	totalLatency := 0
 	deliveredHops := 0
+	nextEvent := 0
 	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		// Fault dynamics: apply this cycle's fail/recover events before
+		// injection, mirror them into the Rerouter, lose whatever was
+		// queued at a failing node, and repair the rest of the fleet.
+		if nextEvent < len(events) && events[nextEvent].Cycle <= cycle {
+			failedAny := false
+			for nextEvent < len(events) && events[nextEvent].Cycle <= cycle {
+				e := events[nextEvent]
+				nextEvent++
+				switch {
+				case e.Fail && !faulty[e.Node]:
+					faulty[e.Node] = true
+					if cfg.Rerouter != nil {
+						cfg.Rerouter.Fail(e.Node)
+					}
+					for k := range queues[e.Node] {
+						res.Dropped += len(queues[e.Node][k])
+						queues[e.Node][k] = nil
+					}
+					failedAny = true
+				case !e.Fail && faulty[e.Node]:
+					faulty[e.Node] = false
+					if cfg.Rerouter != nil {
+						cfg.Rerouter.Recover(e.Node)
+					}
+				}
+			}
+			if failedAny {
+				if err := rerouteInFlight(); err != nil {
+					return res, err
+				}
+			}
+		}
+
 		// Injection.
 		for v := 0; v < n; v++ {
 			if !cfg.injecting(cycle) || !usable(v) || rng.Float64() >= cfg.Rate {
 				continue
 			}
-			dst := dest(v)
-			if dst == v || !usable(dst) {
+			dst, ok := drawDest(cfg.Pattern, rng, perm, n, v, usable)
+			if !ok {
+				res.Skipped++
 				continue
 			}
 			walk := t.RoutePath(v, dst)
 			if len(walk) < 2 || walk[0] != v || walk[len(walk)-1] != dst {
 				return res, fmt.Errorf("simnet: bad route %v for %d->%d", walk, v, dst)
+			}
+			for _, x := range walk {
+				if !usable(x) {
+					// The topology's static route crosses a live fault.
+					// Without dynamics that is a misconfigured topology
+					// (it promised to avoid its own unusable nodes); with
+					// a Schedule it is expected, and the Rerouter — or,
+					// failing that, a skip — handles it.
+					if !dynamic {
+						return res, fmt.Errorf("simnet: route for %d->%d crosses faulty node %d", v, dst, x)
+					}
+					walk = nil
+					if cfg.Rerouter != nil {
+						if w, err := cfg.Rerouter.Reroute(v, dst); err == nil {
+							walk = w
+						}
+					}
+					break
+				}
+			}
+			if walk == nil {
+				res.Skipped++
+				continue
+			}
+			if len(walk) < 2 || walk[0] != v || walk[len(walk)-1] != dst {
+				return res, fmt.Errorf("simnet: bad reroute %v for %d->%d", walk, v, dst)
 			}
 			p := &packet{path: make([]int32, len(walk)), injected: int32(cycle), moved: -1}
 			for i, x := range walk {
