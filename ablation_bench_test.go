@@ -72,9 +72,9 @@ func BenchmarkAblationDisjointPathsCase1(b *testing.B) {
 	b.Run("maxflow", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
-			paths := graph.DisjointPaths(d, p.u, p.v, hb.Degree())
-			if len(paths) != hb.Degree() {
-				b.Fatal("flow found fewer paths")
+			paths, err := graph.DisjointPaths(d, p.u, p.v, hb.Degree())
+			if err != nil || len(paths) != hb.Degree() {
+				b.Fatalf("flow found %d paths: %v", len(paths), err)
 			}
 		}
 	})

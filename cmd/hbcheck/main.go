@@ -7,6 +7,12 @@
 //	hbcheck -m 1..3 -n 3..5            full sweep of the ranges
 //	hbcheck -m 2 -n 3 -json            machine-readable report (CI gate)
 //	hbcheck -m 2 -n 3 -workers 8 -v    explicit parallelism, per-cell detail
+//	hbcheck -m 3 -n 4 -connsweep       timed exact kappa/lambda per target (Menger engine)
+//
+// -connsweep replaces the invariant matrix with a timed connectivity
+// sweep: exact vertex and edge connectivity of every target via the
+// parallel Menger engine, checked against the claimed formulas. Combine
+// with -cpuprofile to profile the flow kernels under real load.
 //
 // Exit status is 0 iff every executed invariant passed; skipped cells
 // (quantities a family does not claim, or instances over the size caps)
@@ -22,8 +28,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/conformance"
+	"repro/internal/graph"
 	"repro/internal/profiling"
 )
 
@@ -42,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pairs := fs.Int("pairs", 0, "sampled pairs per pairwise invariant (0 = default 48)")
 	maxConn := fs.Int("maxconn", 0, "max order for the max-flow connectivity check (0 = default 2048)")
 	canonical := fs.Bool("canonical", false, "emit the timing-free canonical report (diffable across runs)")
+	connsweep := fs.Bool("connsweep", false, "run a timed exact connectivity sweep instead of the invariant matrix")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := fs.String("memprofile", "", "write a GC-settled heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -77,6 +86,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "hbcheck: sweep m=%d..%d n=%d..%d produces no valid targets\n", mLo, mHi, nLo, nHi)
 		return 2
 	}
+	if *connsweep {
+		return runConnSweep(targets, *workers, stdout, stderr)
+	}
 	rep := conformance.Run(targets, conformance.DefaultInvariants(), conformance.Options{
 		Workers:              *workers,
 		MaxPairs:             *pairs,
@@ -97,6 +109,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if !rep.OK() {
 		fmt.Fprintf(stderr, "hbcheck: %d invariant(s) failed: %s\n", rep.Fail, strings.Join(rep.FailedNames(), ", "))
+		return 1
+	}
+	return 0
+}
+
+// runConnSweep computes exact vertex and edge connectivity of every
+// target with the parallel Menger engine, prints per-target timings,
+// and exits nonzero if a measured value contradicts a claimed formula.
+func runConnSweep(targets []conformance.Target, workers int, stdout, stderr io.Writer) int {
+	bad := 0
+	for i := range targets {
+		t := &targets[i]
+		d := graph.Build(t.Graph)
+		t0 := time.Now()
+		var kappa int
+		if t.VertexTransitive {
+			kappa = graph.ConnectivityVertexTransitiveParallel(d, workers)
+		} else {
+			kappa = graph.ConnectivityParallel(d, workers)
+		}
+		kElapsed := time.Since(t0)
+		t0 = time.Now()
+		lambda := graph.EdgeConnectivityParallel(d, workers)
+		lElapsed := time.Since(t0)
+		status := "ok"
+		if t.Connectivity >= 0 && kappa != t.Connectivity {
+			status = fmt.Sprintf("KAPPA MISMATCH (claimed %d)", t.Connectivity)
+			bad++
+		}
+		if t.EdgeConnectivity > 0 && lambda != t.EdgeConnectivity {
+			status = fmt.Sprintf("LAMBDA MISMATCH (claimed %d)", t.EdgeConnectivity)
+			bad++
+		}
+		fmt.Fprintf(stdout, "%-10s order=%-6d kappa=%-3d %8.1fms  lambda=%-3d %8.1fms  %s\n",
+			t.Name, d.Order(), kappa, float64(kElapsed)/float64(time.Millisecond),
+			lambda, float64(lElapsed)/float64(time.Millisecond), status)
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "hbcheck: %d connectivity mismatch(es)\n", bad)
 		return 1
 	}
 	return 0

@@ -72,6 +72,38 @@ func TestCanonicalStableAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestConnSweep: -connsweep prints one timed kappa/lambda row per
+// target with values matching the claimed formulas, and exits 0.
+func TestConnSweep(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-m", "1..2", "-n", "3", "-connsweep"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"H(2)", "B(3)", "D(3)", "HD(2,3)", "HB(2,3)", "kappa=6", "lambda=6"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("connsweep output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "MISMATCH") {
+		t.Errorf("connsweep reports a mismatch:\n%s", got)
+	}
+}
+
+// TestConnSweepDetectsMismatch: a target claiming the wrong kappa must
+// drive the sweep to a nonzero exit.
+func TestConnSweepDetectsMismatch(t *testing.T) {
+	target := conformance.HyperButterfly(1, 3)
+	target.Connectivity = 99
+	var out, errOut bytes.Buffer
+	if code := runConnSweep([]conformance.Target{target}, 0, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "KAPPA MISMATCH") {
+		t.Errorf("mismatch not flagged:\n%s", out.String())
+	}
+}
+
 // TestBadFlags: malformed ranges and empty sweeps exit 2 with a
 // diagnostic, not 0 or a panic.
 func TestBadFlags(t *testing.T) {

@@ -38,7 +38,10 @@ func (b *Butterfly) DisjointPaths(u, v Node) ([][]Node, error) {
 	if u < 0 || u >= b.size || v < 0 || v >= b.size {
 		return nil, fmt.Errorf("butterfly: endpoints %d,%d out of range [0,%d)", u, v, b.size)
 	}
-	paths := graph.DisjointPaths(b.Dense(), u, v, 4)
+	paths, err := graph.DisjointPaths(b.Dense(), u, v, 4)
+	if err != nil {
+		return nil, fmt.Errorf("butterfly: %w", err)
+	}
 	if len(paths) != 4 {
 		return nil, fmt.Errorf("butterfly: found %d disjoint paths between %d and %d, want 4", len(paths), u, v)
 	}

@@ -43,6 +43,12 @@ type Target struct {
 	Diameter     int // expected exact diameter; -1 = not claimed
 	Connectivity int // expected vertex connectivity; -1 = not claimed
 
+	// EdgeConnectivity is the expected exact edge connectivity; <= 0 =
+	// not claimed. Every family here is maximally connected (kappa =
+	// minimum degree), so Whitney's kappa <= lambda <= delta pins lambda
+	// to the minimum degree as well.
+	EdgeConnectivity int
+
 	// VertexTransitive lets the diameter and connectivity invariants use
 	// the single-source shortcuts valid for Cayley graphs (Remark 7).
 	VertexTransitive bool
@@ -87,6 +93,7 @@ func Hypercube(m int) Target {
 		Regular:          true,
 		Diameter:         c.DiameterFormula(),
 		Connectivity:     c.ConnectivityFormula(),
+		EdgeConnectivity: m,
 		VertexTransitive: true,
 		Cayley:           true,
 		Distance:         c.Distance,
@@ -112,6 +119,7 @@ func Butterfly(n int) Target {
 		Regular:          true,
 		Diameter:         b.DiameterFormula(),
 		Connectivity:     b.ConnectivityFormula(),
+		EdgeConnectivity: 4,
 		VertexTransitive: true,
 		Cayley:           true,
 		Distance:         b.Distance,
@@ -137,11 +145,12 @@ func DeBruijn(n int) Target {
 		MinDegree:    2,
 		MaxDegree:    4,
 		Regular:      false,
-		Diameter:     g.DiameterFormula(),
-		Connectivity: g.ConnectivityFormula(),
-		Route:        g.Route,
-		RouteBound:   g.RouteLengthBound(),
-		Seed:         int64(307*n + 11),
+		Diameter:         g.DiameterFormula(),
+		Connectivity:     g.ConnectivityFormula(),
+		EdgeConnectivity: 2,
+		Route:            g.Route,
+		RouteBound:       g.RouteLengthBound(),
+		Seed:             int64(307*n + 11),
 	}
 }
 
@@ -157,11 +166,12 @@ func HyperDeBruijn(m, n int) Target {
 		MinDegree:    hd.MinDegree(),
 		MaxDegree:    hd.MaxDegree(),
 		Regular:      false,
-		Diameter:     hd.DiameterFormula(),
-		Connectivity: hd.ConnectivityFormula(),
-		Route:        hd.Route,
-		RouteBound:   hd.RouteLengthBound(),
-		Seed:         int64(401*m + 13*n),
+		Diameter:         hd.DiameterFormula(),
+		Connectivity:     hd.ConnectivityFormula(),
+		EdgeConnectivity: hd.MinDegree(),
+		Route:            hd.Route,
+		RouteBound:       hd.RouteLengthBound(),
+		Seed:             int64(401*m + 13*n),
 	}
 }
 
@@ -195,6 +205,7 @@ func HyperButterflyInstance(hb *core.HyperButterfly) Target {
 		Regular:          true,
 		Diameter:         hb.DiameterFormula(),
 		Connectivity:     hb.ConnectivityFormula(),
+		EdgeConnectivity: hb.Degree(),
 		VertexTransitive: true,
 		Cayley:           true,
 		Distance:         hb.Distance,

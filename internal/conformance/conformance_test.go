@@ -115,19 +115,22 @@ func TestSkipsAreExplained(t *testing.T) {
 	}
 }
 
-// TestConnectivityCapSkips: the max-flow cap converts the connectivity
-// check into an explained skip on oversized targets.
+// TestConnectivityCapSkips: the max-flow cap converts both connectivity
+// checks into explained skips on oversized targets.
 func TestConnectivityCapSkips(t *testing.T) {
 	rep := Run([]Target{HyperButterfly(2, 3)}, DefaultInvariants(), Options{MaxConnectivityOrder: 10})
+	found := map[string]bool{}
 	for _, res := range rep.Results {
-		if res.Invariant == "connectivity" {
+		if res.Invariant == "connectivity" || res.Invariant == "edge-connectivity" {
 			if res.Status != StatusSkip {
-				t.Fatalf("connectivity status %s, want skip", res.Status)
+				t.Fatalf("%s status %s, want skip", res.Invariant, res.Status)
 			}
-			return
+			found[res.Invariant] = true
 		}
 	}
-	t.Fatal("connectivity cell missing")
+	if len(found) != 2 {
+		t.Fatalf("connectivity cells missing from report: %v", found)
+	}
 }
 
 // TestReportJSONRoundTrip: the JSON form CI consumes decodes back to

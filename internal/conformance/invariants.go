@@ -159,12 +159,33 @@ func DefaultInvariants() []Invariant {
 				d := env.Dense()
 				var got int
 				if t.VertexTransitive {
-					got = graph.ConnectivityVertexTransitive(d)
+					got = graph.ConnectivityVertexTransitiveParallel(d, 0)
 				} else {
-					got = graph.Connectivity(d)
+					got = graph.ConnectivityParallel(d, 0)
 				}
 				if got != t.Connectivity {
 					return fmt.Errorf("connectivity %d, want %d", got, t.Connectivity)
+				}
+				return nil
+			},
+		},
+		{
+			// Whitney sandwich: with kappa = delta (Corollary 1 and its
+			// analogues) the edge connectivity is pinned to the minimum
+			// degree; the parallel Menger engine verifies it exactly.
+			Name: "edge-connectivity",
+			Applies: func(t *Target, opts Options) string {
+				if t.EdgeConnectivity <= 0 {
+					return "no edge connectivity claimed"
+				}
+				if t.Order > opts.MaxConnectivityOrder {
+					return fmt.Sprintf("order %d over max-flow cap %d", t.Order, opts.MaxConnectivityOrder)
+				}
+				return ""
+			},
+			Check: func(t *Target, env *Env) error {
+				if got := graph.EdgeConnectivityParallel(env.Dense(), 0); got != t.EdgeConnectivity {
+					return fmt.Errorf("edge connectivity %d, want %d", got, t.EdgeConnectivity)
 				}
 				return nil
 			},

@@ -124,7 +124,10 @@ func (hb *HyperButterfly) disjointCase2(h, bu, bv int) ([][]Node, error) {
 // literally).
 func (hb *HyperButterfly) disjointCase3(u, v Node) ([][]Node, error) {
 	want := hb.m + 4
-	paths := graph.DisjointPaths(hb.Dense(), u, v, want)
+	paths, err := graph.DisjointPaths(hb.Dense(), u, v, want)
+	if err != nil {
+		return nil, fmt.Errorf("core: case 3: %w", err)
+	}
 	if len(paths) != want {
 		return nil, fmt.Errorf("core: case 3: found %d disjoint paths between %d and %d, want %d",
 			len(paths), u, v, want)

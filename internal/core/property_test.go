@@ -121,6 +121,28 @@ func TestEdgeConnectivityMatchesDegree(t *testing.T) {
 	}
 }
 
+// TestCorollary1LargerInstances: exact vertex connectivity m+4 on the
+// instances the per-pair flow rebuild used to put out of reach — HB(3,4)
+// with 512 nodes and HB(4,3) with 384 — via the parallel Menger engine
+// (vertex-transitive seed, shared best bound). Edge connectivity is
+// checked on the larger instance as the E-EC extension.
+func TestCorollary1LargerInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact connectivity on 384/512-node instances")
+	}
+	for _, dims := range [][2]int{{3, 4}, {4, 3}} {
+		hb := MustNew(dims[0], dims[1])
+		want := hb.ConnectivityFormula()
+		if got := graph.ConnectivityVertexTransitiveParallel(hb.Dense(), 0); got != want {
+			t.Errorf("HB%v: vertex connectivity %d, want %d", dims, got, want)
+		}
+	}
+	hb := MustNew(3, 4)
+	if got := graph.EdgeConnectivityParallel(hb.Dense(), 0); got != hb.Degree() {
+		t.Errorf("HB(3,4): edge connectivity %d, want %d", got, hb.Degree())
+	}
+}
+
 // TestGirth: the relator (g·f⁻¹)² gives 4-cycles in the butterfly
 // factor, and the g-generator level cycle gives n-cycles, so the girth
 // of HB(m,n) is min(n, 4) — triangles exist exactly when n = 3.

@@ -56,3 +56,70 @@ func TestKernelMatchesReferenceOnConformanceTargets(t *testing.T) {
 		}
 	}
 }
+
+// TestMengerMatchesReferenceOnConformanceTargets runs the Menger engine
+// differential over the same sweep: the parallel connectivity drivers,
+// the per-pair arena, and the flat-decomposition DisjointPaths must
+// agree with the retained reference flow on every topology family —
+// including the irregular de Bruijn graphs with self-loops and
+// multi-edges.
+func TestMengerMatchesReferenceOnConformanceTargets(t *testing.T) {
+	targets, err := conformance.Sweep(1, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range targets {
+		d := graph.Build(target.Graph)
+		n := d.Order()
+		if n > 512 {
+			continue // exact global connectivity on every target stays fast
+		}
+		wantK := graph.ConnectivityReference(d)
+		if got := graph.Connectivity(d); got != wantK {
+			t.Fatalf("%s: Connectivity = %d, reference %d", target.Name, got, wantK)
+		}
+		if got := graph.ConnectivityParallel(d, 0); got != wantK {
+			t.Fatalf("%s: ConnectivityParallel = %d, reference %d", target.Name, got, wantK)
+		}
+		if target.VertexTransitive {
+			if got := graph.ConnectivityVertexTransitive(d); got != wantK {
+				t.Fatalf("%s: ConnectivityVertexTransitive = %d, reference %d", target.Name, got, wantK)
+			}
+			if got := graph.ConnectivityVertexTransitiveParallel(d, 0); got != wantK {
+				t.Fatalf("%s: ConnectivityVertexTransitiveParallel = %d, reference %d", target.Name, got, wantK)
+			}
+		}
+		wantL := graph.EdgeConnectivityReference(d)
+		if got := graph.EdgeConnectivity(d); got != wantL {
+			t.Fatalf("%s: EdgeConnectivity = %d, reference %d", target.Name, got, wantL)
+		}
+		if got := graph.EdgeConnectivityParallel(d, 0); got != wantL {
+			t.Fatalf("%s: EdgeConnectivityParallel = %d, reference %d", target.Name, got, wantL)
+		}
+		// Sampled pairs: engine local values and path decomposition vs
+		// the reference, reusing one arena across pairs as consumers do.
+		fs := graph.NewFlowScratch(d)
+		rng := rand.New(rand.NewSource(target.Seed))
+		for trial := 0; trial < 6; trial++ {
+			s := rng.Intn(n)
+			u := rng.Intn(n)
+			if s == u {
+				continue
+			}
+			want := graph.LocalConnectivityReference(d, s, u)
+			if got := fs.LocalConnectivity(s, u, -1); got != want {
+				t.Fatalf("%s: LocalConnectivity(%d,%d) = %d, reference %d", target.Name, s, u, got, want)
+			}
+			paths, err := graph.DisjointPaths(d, s, u, -1)
+			if err != nil {
+				t.Fatalf("%s: DisjointPaths(%d,%d): %v", target.Name, s, u, err)
+			}
+			if len(paths) != want {
+				t.Fatalf("%s: DisjointPaths(%d,%d): %d paths, want %d", target.Name, s, u, len(paths), want)
+			}
+			if err := graph.VerifyDisjointPaths(d, s, u, paths); err != nil {
+				t.Fatalf("%s: DisjointPaths(%d,%d): %v", target.Name, s, u, err)
+			}
+		}
+	}
+}

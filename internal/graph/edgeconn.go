@@ -7,7 +7,9 @@ package graph
 // Corollary 1's node bound). The computation is plain max-flow on the
 // directed doubling of the graph, using the same seed argument as
 // Connectivity: every minimum edge cut separates some fixed vertex from
-// at least one other vertex.
+// at least one other vertex. The hot path runs on the FlowScratch arena
+// of menger.go; the *Reference functions retain the pre-engine
+// implementation as oracle and benchmark baseline.
 
 // buildEdgeNet constructs a unit-capacity directed network with one arc
 // pair per undirected edge.
@@ -32,8 +34,20 @@ func buildEdgeNet(d *Dense) *flowNet {
 }
 
 // LocalEdgeConnectivity returns the maximum number of edge-disjoint
-// paths between distinct vertices s and t.
+// paths between distinct vertices s and t. Callers probing many pairs
+// of one graph should hold a NewEdgeFlowScratch and call its
+// LocalEdgeConnectivity method instead.
 func LocalEdgeConnectivity(d *Dense, s, t int) int {
+	if s == t {
+		panic("graph: LocalEdgeConnectivity of a vertex with itself")
+	}
+	return NewEdgeFlowScratch(d).LocalEdgeConnectivity(s, t, -1)
+}
+
+// LocalEdgeConnectivityReference is the retained pre-engine
+// implementation: network rebuilt per call, recursive augmentation.
+// Differential-test oracle and benchmark baseline only.
+func LocalEdgeConnectivityReference(d *Dense, s, t int) int {
 	if s == t {
 		panic("graph: LocalEdgeConnectivity of a vertex with itself")
 	}
@@ -42,9 +56,32 @@ func LocalEdgeConnectivity(d *Dense, s, t int) int {
 }
 
 // EdgeConnectivity computes the edge connectivity of d exactly: the
-// minimum of LocalEdgeConnectivity(0, v) over all other vertices v
-// (every edge cut separates vertex 0 from something).
+// minimum of local edge connectivity from vertex 0 to every other
+// vertex (every edge cut separates vertex 0 from something). The
+// minimum simple degree caps the initial bound (lambda <= delta) and
+// every flow stops once it reaches the running best.
 func EdgeConnectivity(d *Dense) int {
+	n := d.Order()
+	if n <= 1 {
+		return 0
+	}
+	if !IsConnected(d, nil) {
+		return 0
+	}
+	fs := NewEdgeFlowScratch(d)
+	best := minSimpleDegree(d)
+	for v := 1; v < n; v++ {
+		if c := fs.LocalEdgeConnectivity(0, v, best); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// EdgeConnectivityReference is the retained pre-engine EdgeConnectivity:
+// serial, unbounded flows, network rebuilt per pair. Differential-test
+// oracle and benchmark baseline only.
+func EdgeConnectivityReference(d *Dense) int {
 	n := d.Order()
 	if n <= 1 {
 		return 0
@@ -54,7 +91,7 @@ func EdgeConnectivity(d *Dense) int {
 	}
 	best := -1
 	for v := 1; v < n; v++ {
-		c := LocalEdgeConnectivity(d, 0, v)
+		c := LocalEdgeConnectivityReference(d, 0, v)
 		if best == -1 || c < best {
 			best = c
 		}

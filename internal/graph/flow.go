@@ -2,16 +2,22 @@ package graph
 
 import "fmt"
 
-// This file implements vertex connectivity and Menger-style disjoint path
-// extraction via unit-capacity max-flow (Dinic's algorithm) on the
-// standard node-split digraph: every vertex v becomes v_in -> v_out with
-// capacity 1 (infinite for the terminals), and every undirected edge
-// {u,w} becomes arcs u_out -> w_in and w_out -> u_in of capacity 1.
+// This file holds the vertex-connectivity API and the retained
+// pre-engine reference implementation of Menger-style max-flow
+// (Dinic's algorithm on the standard node-split digraph: every vertex v
+// becomes v_in -> v_out with capacity 1, infinite for the terminals,
+// and every undirected edge {u,w} becomes arcs u_out -> w_in and
+// w_out -> u_in of capacity 1).
 //
 // The paper's Theorem 5 claims m+4 node-disjoint paths between any two
 // hyper-butterfly nodes and Corollary 1 concludes vertex connectivity
 // m+4; these routines provide the independent ground truth those claims
-// are tested against.
+// are tested against. The hot paths (LocalConnectivity, Connectivity,
+// ConnectivityVertexTransitive, DisjointPaths) run on the zero-alloc
+// FlowScratch arena of menger.go; the *Reference functions keep the
+// original per-pair implementation — network rebuilt per call,
+// recursive augmentation, unbounded serial seed loop — as the
+// differential-test oracle and benchmark baseline.
 
 type flowEdge struct {
 	to  int32
@@ -124,8 +130,21 @@ func buildSplit(d *Dense, s, t int) *flowNet {
 // vertex-disjoint paths between distinct vertices s and t of d (infinite
 // families are capped at 126 by the unit-capacity representation, far
 // above any graph in this repository). If s and t are adjacent the direct
-// edge counts as one path.
+// edge counts as one path. Runs on a freshly built Menger arena; callers
+// probing many pairs of one graph should hold a NewFlowScratch and call
+// its LocalConnectivity method instead.
 func LocalConnectivity(d *Dense, s, t int) int {
+	if s == t {
+		panic("graph: LocalConnectivity of a vertex with itself")
+	}
+	return NewFlowScratch(d).LocalConnectivity(s, t, -1)
+}
+
+// LocalConnectivityReference is the retained pre-engine implementation
+// of LocalConnectivity: the node-split network is rebuilt from scratch
+// and augmented recursively. Differential-test oracle and benchmark
+// baseline only.
+func LocalConnectivityReference(d *Dense, s, t int) int {
 	if s == t {
 		panic("graph: LocalConnectivity of a vertex with itself")
 	}
@@ -135,88 +154,53 @@ func LocalConnectivity(d *Dense, s, t int) int {
 
 // DisjointPaths returns a maximum set of pairwise internally
 // vertex-disjoint s-t paths in d, each as a vertex sequence including the
-// endpoints. If limit >= 0, at most limit paths are returned.
-func DisjointPaths(d *Dense, s, t, limit int) [][]int {
+// endpoints. If limit >= 0, at most limit paths are returned. An error
+// (never seen on well-formed inputs) reports a failed flow
+// decomposition. Callers extracting paths for many pairs of one graph
+// should hold a NewFlowScratch and call its DisjointPaths method.
+func DisjointPaths(d *Dense, s, t, limit int) ([][]int, error) {
 	if s == t {
-		return [][]int{{s}}
+		return [][]int{{s}}, nil
 	}
-	f := buildSplit(d, s, t)
-	flow := f.maxFlow(splitOut(s), splitIn(t), limit)
-	// Decompose the unit flow: saturated forward arcs have residual cap 0
-	// on the forward edge (and were created with cap > 0 -> reverse has
-	// cap > 0). Build successor map on split nodes and walk from s.
-	used := make([][]bool, len(f.edges))
-	for v := range used {
-		used[v] = make([]bool, len(f.edges[v]))
-	}
-	next := func(v int) int {
-		for i, e := range f.edges[v] {
-			if used[v][i] {
-				continue
-			}
-			// A forward arc originally had rev pointing at an edge created
-			// with cap 0; it carries flow iff its residual reverse cap > 0.
-			if f.edges[e.to][e.rev].cap > 0 && isForwardArc(f, v, i) {
-				used[v][i] = true
-				return int(e.to)
-			}
-		}
-		return -1
-	}
-	paths := make([][]int, 0, flow)
-	for k := 0; k < flow; k++ {
-		// Walk forward along flow-carrying arcs. Unit flows found by
-		// augmentation may contain cycles; if the walk revisits a vertex,
-		// the loop is cut out (its arcs stay consumed, harmlessly).
-		path := []int{s}
-		at := map[int]int{s: 0} // original vertex -> index in path
-		v := splitOut(s)
-		for {
-			w := next(v)
-			if w == -1 {
-				panic("graph: flow decomposition lost a path")
-			}
-			if w == splitIn(t) {
-				path = append(path, t)
-				break
-			}
-			orig := w / 2
-			if i, seen := at[orig]; seen {
-				for _, x := range path[i+1:] {
-					delete(at, x)
-				}
-				path = path[:i+1]
-			} else {
-				at[orig] = len(path)
-				path = append(path, orig)
-			}
-			v = splitOut(orig)
-		}
-		paths = append(paths, path)
-	}
-	return paths
-}
-
-// isForwardArc reports whether edge index i out of v was created by
-// addArc as a real (capacity-bearing) arc rather than a residual. Real
-// arcs from an out-node go to in-nodes; real arcs from an in-node go to
-// the matching out-node.
-func isForwardArc(f *flowNet, v, i int) bool {
-	e := f.edges[v][i]
-	if v%2 == 1 { // out-node: forward arcs lead to in-nodes of neighbors
-		return e.to%2 == 0
-	}
-	// in-node: the only forward arc is to its own out-node
-	return int(e.to) == v+1
+	return NewFlowScratch(d).DisjointPaths(s, t, limit)
 }
 
 // Connectivity computes the vertex connectivity of d exactly using the
 // classic seed argument: a minimum cut C has |C| = kappa vertices, so
 // among any kappa+1 seed vertices at least one seed lies outside C; the
-// minimum of LocalConnectivity(seed, v) over vertices v non-adjacent to
-// that seed equals |C|. Seeds are processed until their count exceeds the
-// best cut found. Complete graphs (no non-adjacent pair) return n-1.
+// minimum of local connectivity over vertices v non-adjacent to that
+// seed equals |C|. Seeds are processed until their count exceeds the
+// best cut found, the minimum simple degree caps the initial bound
+// (kappa <= delta), and every flow stops as soon as it reaches the
+// running best — a pair reaching it cannot lower the minimum. Complete
+// graphs (no non-adjacent pair) return n-1.
 func Connectivity(d *Dense) int {
+	n := d.Order()
+	if n <= 1 {
+		return 0
+	}
+	if !IsConnected(d, nil) {
+		return 0
+	}
+	fs := NewFlowScratch(d)
+	best := minSimpleDegree(d)
+	for seed := 0; seed < n && seed <= best; seed++ {
+		for v := 0; v < n; v++ {
+			if v == seed || d.HasEdge(seed, v) {
+				continue
+			}
+			if c := fs.LocalConnectivity(seed, v, best); c < best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// ConnectivityReference is the retained pre-engine Connectivity: serial
+// seed loop, unbounded flows, network rebuilt per pair. Differential-
+// test oracle and benchmark baseline only.
+func ConnectivityReference(d *Dense) int {
 	n := d.Order()
 	if n <= 1 {
 		return 0
@@ -230,7 +214,7 @@ func Connectivity(d *Dense) int {
 			if v == seed || d.HasEdge(seed, v) {
 				continue
 			}
-			if c := LocalConnectivity(d, seed, v); c < best {
+			if c := LocalConnectivityReference(d, seed, v); c < best {
 				best = c
 			}
 		}
@@ -241,7 +225,9 @@ func Connectivity(d *Dense) int {
 // ConnectivityVertexTransitive computes vertex connectivity assuming d is
 // vertex-transitive: some minimum cut avoids any chosen base vertex (an
 // automorphism can always move the cut off it), so a single seed
-// suffices. All the Cayley graphs in this repository qualify.
+// suffices. All the Cayley graphs in this repository qualify. Like
+// Connectivity, the minimum simple degree caps the initial bound and
+// every flow stops at the running best.
 func ConnectivityVertexTransitive(d *Dense) int {
 	n := d.Order()
 	if n <= 1 {
@@ -250,12 +236,13 @@ func ConnectivityVertexTransitive(d *Dense) int {
 	if !IsConnected(d, nil) {
 		return 0
 	}
-	best := n - 1
+	fs := NewFlowScratch(d)
+	best := minSimpleDegree(d)
 	for v := 1; v < n; v++ {
 		if d.HasEdge(0, v) {
 			continue
 		}
-		if c := LocalConnectivity(d, 0, v); c < best {
+		if c := fs.LocalConnectivity(0, v, best); c < best {
 			best = c
 		}
 	}

@@ -177,7 +177,10 @@ func TestLocalConnectivityAndDisjointPaths(t *testing.T) {
 		if got != 3 {
 			t.Fatalf("LocalConnectivity(%d,%d) = %d, want 3", pair[0], pair[1], got)
 		}
-		paths := DisjointPaths(p, pair[0], pair[1], -1)
+		paths, err := DisjointPaths(p, pair[0], pair[1], -1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(paths) != 3 {
 			t.Fatalf("got %d paths", len(paths))
 		}
@@ -186,7 +189,10 @@ func TestLocalConnectivityAndDisjointPaths(t *testing.T) {
 		}
 	}
 	// limit honoured
-	paths := DisjointPaths(p, 0, 7, 2)
+	paths, err := DisjointPaths(p, 0, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(paths) != 2 {
 		t.Fatalf("limited paths = %d", len(paths))
 	}

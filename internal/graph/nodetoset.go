@@ -146,3 +146,16 @@ func VerifyNodeToSetPaths(g Graph, src int, targets []int, paths [][]int) error 
 	}
 	return nil
 }
+
+// isForwardArc reports whether edge index i out of v was created by
+// addArc as a real (capacity-bearing) arc rather than a residual. Real
+// arcs from an out-node go to in-nodes; real arcs from an in-node go to
+// the matching out-node.
+func isForwardArc(f *flowNet, v, i int) bool {
+	e := f.edges[v][i]
+	if v%2 == 1 { // out-node: forward arcs lead to in-nodes of neighbors
+		return e.to%2 == 0
+	}
+	// in-node: the only forward arc is to its own out-node
+	return int(e.to) == v+1
+}

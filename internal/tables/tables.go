@@ -72,7 +72,7 @@ func SummarizeHypercube(dim int, exact bool) Summary {
 	// H is vertex-transitive: one BFS gives the diameter.
 	s.Diameter, _ = d.EccentricityScratch(0, graph.NewScratch(d.Order()))
 	if exact || d.Order() <= exactLimit {
-		s.Connectivity = graph.ConnectivityVertexTransitive(d)
+		s.Connectivity = graph.ConnectivityVertexTransitiveParallel(d, 0)
 		s.ConnectivityNote = "exact (max-flow)"
 	} else {
 		s.Connectivity, s.ConnectivityNote = sampledConnectivityVT(d, 0)
@@ -101,7 +101,7 @@ func SummarizeButterfly(n int, exact bool) Summary {
 	}
 	s.Diameter, _ = d.EccentricityScratch(b.Identity(), graph.NewScratch(d.Order()))
 	if exact || d.Order() <= exactLimit {
-		s.Connectivity = graph.ConnectivityVertexTransitive(d)
+		s.Connectivity = graph.ConnectivityVertexTransitiveParallel(d, 0)
 		s.ConnectivityNote = "exact (max-flow)"
 	} else {
 		s.Connectivity, s.ConnectivityNote = sampledConnectivityVT(d, b.Identity())
@@ -135,7 +135,7 @@ func SummarizeHD(m, n int, exact bool) Summary {
 		s.Diameter = graph.DiameterParallel(d, 0)
 	}
 	if d.Order() <= exactLimit {
-		s.Connectivity = graph.Connectivity(d)
+		s.Connectivity = graph.ConnectivityParallel(d, 0)
 		s.ConnectivityNote = "exact (max-flow)"
 	} else {
 		// A de Bruijn loop vertex (word 00..0) has minimum degree m+2;
@@ -167,7 +167,7 @@ func SummarizeHB(m, n int, exact bool) Summary {
 	}
 	s.Diameter, _ = d.EccentricityScratch(hb.Identity(), graph.NewScratch(d.Order())) // vertex-transitive
 	if exact || d.Order() <= exactLimit {
-		s.Connectivity = graph.ConnectivityVertexTransitive(d)
+		s.Connectivity = graph.ConnectivityVertexTransitiveParallel(d, 0)
 		s.ConnectivityNote = "exact (max-flow)"
 	} else {
 		s.Connectivity, s.ConnectivityNote = sampledConnectivityVT(d, hb.Identity())
@@ -198,9 +198,12 @@ func sampledConnectivityVT(d *graph.Dense, base int) (int, string) {
 			targets[v] = true
 		}
 	}
+	// One flow arena serves every probe; the running best caps each flow
+	// so later probes stop as soon as they match the current minimum.
+	fs := graph.NewFlowScratch(d)
 	best := d.Order()
 	for v := range targets {
-		if c := graph.LocalConnectivity(d, base, v); c < best {
+		if c := fs.LocalConnectivity(base, v, best); c < best {
 			best = c
 		}
 	}
