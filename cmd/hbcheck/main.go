@@ -51,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxConn := fs.Int("maxconn", 0, "max order for the max-flow connectivity check (0 = default 2048)")
 	canonical := fs.Bool("canonical", false, "emit the timing-free canonical report (diffable across runs)")
 	connsweep := fs.Bool("connsweep", false, "run a timed exact connectivity sweep instead of the invariant matrix")
+	implicit := fs.Bool("implicit", false, "run the exhaustive implicit-vs-dense differential sweep instead of the invariant matrix")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := fs.String("memprofile", "", "write a GC-settled heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +89,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *connsweep {
 		return runConnSweep(targets, *workers, stdout, stderr)
+	}
+	if *implicit {
+		return runImplicitSweep(mLo, mHi, nLo, nHi, *pairs, *jsonOut, stdout, stderr)
 	}
 	rep := conformance.Run(targets, conformance.DefaultInvariants(), conformance.Options{
 		Workers:              *workers,
@@ -148,6 +152,34 @@ func runConnSweep(targets []conformance.Target, workers int, stdout, stderr io.W
 	}
 	if bad > 0 {
 		fmt.Fprintf(stderr, "hbcheck: %d connectivity mismatch(es)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// runImplicitSweep is the implicit-vs-dense differential gate: on every
+// HB(m,n) in the range, the label-arithmetic backend's neighbors,
+// distances and routes are checked against the dense BFS oracle over
+// all pairs, and its Theorem 5 extractions against the dense Menger
+// engine on sampled pairs. Exit status 1 if any instance diverges.
+func runImplicitSweep(mLo, mHi, nLo, nHi, pairs int, jsonOut bool, stdout, stderr io.Writer) int {
+	rep, err := conformance.ImplicitSweep(mLo, mHi, nLo, nHi, pairs)
+	if err != nil {
+		fmt.Fprintf(stderr, "hbcheck: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		raw, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "hbcheck: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n", raw)
+	} else {
+		rep.WriteText(stdout)
+	}
+	if !rep.OK() {
+		fmt.Fprintf(stderr, "hbcheck: implicit differential failed on %d instance(s)\n", rep.Fail)
 		return 1
 	}
 	return 0

@@ -12,6 +12,7 @@
 //	/paths?m=2&n=3&u=0&v=95        the m+4 disjoint paths (Theorem 5)
 //	/faultroute?...&faults=3,17    fault-avoiding route (Remark 10)
 //	/info?m=2&n=3                  order/edges/degree/diameter/connectivity
+//	/estimate?m=10&n=10&samples=4096   sampled diameter/distance evidence
 //	/conformance?m=2&n=3           re-run the invariant registry
 //	/metrics                       Prometheus text exposition
 //	/healthz                       liveness
@@ -21,6 +22,10 @@
 // exit. Every request runs under a deadline (-timeout), overload sheds
 // with 503 + Retry-After (-maxinflight), and handler panics answer 500
 // and increment hbd_panics_total instead of killing the daemon.
+//
+// Instances above -maxorder are served by the label-arithmetic implicit
+// engine up to -implicitmaxorder, so a query against HB(10,10) (~10.5M
+// nodes) answers from a cold daemon without building a graph.
 package main
 
 import (
@@ -48,7 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	poolMax := fs.Int("pool", 0, "serve: max resident HB instances (0 = default)")
 	cacheSize := fs.Int("cache", 0, "serve: route-cache entries (0 = default, -1 disables)")
 	shards := fs.Int("shards", 0, "serve: route-cache shards (0 = default)")
-	maxOrder := fs.Int("maxorder", 0, "serve: max nodes per instance (0 = default)")
+	maxOrder := fs.Int("maxorder", 0, "serve: max nodes on the dense tier (0 = default)")
+	implicitMaxOrder := fs.Int("implicitmaxorder", 0, "serve: max nodes on the implicit tier (0 = default, negative disables)")
 	grace := fs.Duration("grace", 10*time.Second, "serve: shutdown drain budget")
 	timeout := fs.Duration("timeout", 0, "serve: per-request deadline (0 = default, negative disables)")
 	maxInFlight := fs.Int("maxinflight", 0, "serve: 503 load-shedding bound (0 = default, negative disables)")
@@ -70,12 +76,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch *mode {
 	case "serve":
 		srv := hbserve.NewServer(hbserve.Config{
-			PoolMax:        *poolMax,
-			MaxOrder:       *maxOrder,
-			CacheSize:      *cacheSize,
-			CacheShard:     *shards,
-			RequestTimeout: *timeout,
-			MaxInFlight:    *maxInFlight,
+			PoolMax:          *poolMax,
+			MaxOrder:         *maxOrder,
+			ImplicitMaxOrder: *implicitMaxOrder,
+			CacheSize:        *cacheSize,
+			CacheShard:       *shards,
+			RequestTimeout:   *timeout,
+			MaxInFlight:      *maxInFlight,
 		})
 		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 		defer stop()

@@ -133,6 +133,79 @@ func (p walkPlan) moves(n, cw int) []int {
 	return seq
 }
 
+// AppendRoute appends a shortest u-v path (both endpoints included) to
+// buf and returns the extended slice. It is the allocation-free
+// counterpart of Route: given a buf with sufficient capacity it performs
+// no heap allocation, which is what lets the implicit engine route on
+// multi-million-node instances at dense-graph speeds.
+func (b *Butterfly) AppendRoute(u, v Node, buf []Node) []Node {
+	buf = append(buf, u)
+	return b.AppendRouteTail(u, v, 0, buf)
+}
+
+// AppendRouteTail appends base+w for every vertex w strictly after u on
+// the shortest u-v walk that Route produces, allocation-free. The base
+// offset lets product networks (core.HyperButterfly) relabel the walk
+// into a sub-butterfly without an intermediate slice.
+func (b *Butterfly) AppendRouteTail(u, v Node, base int, buf []int) []int {
+	piU, maskU := b.Split(u)
+	piV, maskV := b.Split(v)
+	req := bitvec.RotR(maskU^maskV, b.n, piU)
+	cw := (piV - piU + b.n) % b.n
+	_, plan := planWalk(b.n, req, cw)
+
+	// The plan expands to at most three constant-direction segments (the
+	// same sequence plan.moves emits, without materialising it).
+	var segs [3][2]int // {direction, step count}
+	ns := 0
+	switch {
+	case plan.full && plan.clockwise:
+		segs[0] = [2]int{+1, cw}
+		segs[1] = [2]int{-1, b.n}
+		ns = 2
+	case plan.full:
+		segs[0] = [2]int{-1, b.n - cw}
+		segs[1] = [2]int{+1, b.n}
+		ns = 2
+	case plan.e >= 0:
+		segs[0] = [2]int{-1, plan.beta}
+		segs[1] = [2]int{+1, plan.alpha + plan.beta}
+		segs[2] = [2]int{-1, plan.alpha - plan.e}
+		ns = 3
+	default:
+		segs[0] = [2]int{+1, plan.alpha}
+		segs[1] = [2]int{-1, plan.alpha + plan.beta}
+		segs[2] = [2]int{+1, plan.e + plan.beta}
+		ns = 3
+	}
+	cur := u
+	for s := 0; s < ns; s++ {
+		dir, count := segs[s][0], segs[s][1]
+		for i := 0; i < count; i++ {
+			pi, mask := b.Split(cur)
+			var gen int
+			if dir > 0 {
+				gen = GenG
+				if (mask^maskV)&(1<<uint(pi)) != 0 {
+					gen = GenF
+				}
+			} else {
+				gen = GenGInv
+				prev := (pi + b.n - 1) % b.n
+				if (mask^maskV)&(1<<uint(prev)) != 0 {
+					gen = GenFInv
+				}
+			}
+			cur = b.Apply(gen, cur)
+			buf = append(buf, base+cur)
+		}
+	}
+	if cur != v {
+		panic(fmt.Sprintf("butterfly: route from %d ended at %d, want %d", u, cur, v))
+	}
+	return buf
+}
+
 // Route returns a shortest path from u to v as a node sequence including
 // both endpoints; its length always equals Distance(u, v) + 1.
 func (b *Butterfly) Route(u, v Node) []Node {

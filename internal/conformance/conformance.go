@@ -76,6 +76,15 @@ type Target struct {
 	FaultRoute func(faults []int, u, v int) ([]int, error)
 	MaxFaults  int
 
+	// Implicit, if non-nil, is the label-arithmetic backend of the same
+	// instance (core.Implicit for HB). The implicit-* invariants hold
+	// its neighbors, routes, distances and disjoint paths to exact
+	// agreement with the dense oracles built from Graph.
+	Implicit              graph.Graph
+	ImplicitDistance      func(u, v int) int
+	ImplicitRoute         func(u, v int) []int
+	ImplicitDisjointPaths func(u, v int) ([][]int, error)
+
 	// Seed drives the deterministic sampling of pairwise checks.
 	Seed int64
 }
@@ -189,6 +198,7 @@ func HyperButterfly(m, n int) Target {
 // other query paths instead of reconstructing per request.
 func HyperButterflyInstance(hb *core.HyperButterfly) Target {
 	m, n := hb.M(), hb.N()
+	imp := core.ImplicitOf(hb)
 	// One incremental router serves every fault-tolerance trial on this
 	// instance: consecutive trials differ by a handful of faults, so each
 	// call pays a set diff instead of a router rebuild. The harness runs
@@ -225,7 +235,13 @@ func HyperButterflyInstance(hb *core.HyperButterfly) Target {
 			return fr.Route(u, v)
 		},
 		MaxFaults: hb.M() + 3,
-		Seed:      int64(503*m + 17*n),
+		Implicit:  imp,
+		ImplicitDistance: imp.Distance,
+		ImplicitRoute: func(u, v int) []int {
+			return imp.AppendRoute(u, v, make([]core.Node, 0, imp.Distance(u, v)+1))
+		},
+		ImplicitDisjointPaths: imp.DisjointPaths,
+		Seed:                  int64(503*m + 17*n),
 	}
 }
 

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Case 3 of Theorem 5 (both label parts differ) without the product
+// graph. The paper's two staircase families — cube-first paths that
+// cross the butterfly in a distinct column, and butterfly-first paths
+// that cross the cube in a distinct layer — are individually sound but
+// collide pairwise at "corner" vertices (see the paths.go file comment),
+// so they cannot be returned as-is. The dense backend resolves this with
+// a max-flow over the whole graph; at HB(10,10) scale that graph cannot
+// exist. Instead we exploit locality: all m+4 paths of a correct
+// solution can be drawn inside a small window around the analytic
+// candidates, because the product structure supplies commuting-square
+// detours wherever two candidates touch. So:
+//
+//  1. seed a vertex window with both staircase families, both two-phase
+//     routes, and the factor disjoint paths lifted to both endpoints;
+//  2. close the window under 1-hop neighborhoods (label arithmetic);
+//  3. run the exact Menger extraction on the induced subgraph;
+//  4. on a shortfall, widen by another hop and retry (bounded).
+//
+// The window has O((m+n)·(m+4)·(m+4)) vertices — thousands for
+// HB(10,10), against ten million in the full graph — and the extraction
+// is exact, so the result is a verified Theorem 5 certificate, not a
+// heuristic. The differential gate checks it against the dense Menger
+// answer on every conformance instance; in those sweeps the first
+// window always suffices, and implicitWindowHops bounds pathology.
+
+// implicitWindowHops caps the closed-neighborhood expansions around the
+// candidate scaffold before implicitCase3 reports failure.
+const implicitWindowHops = 3
+
+// implicitCase3 builds the induced candidate window and extracts m+4
+// disjoint paths from it.
+func (t *Implicit) implicitCase3(u, v Node) ([][]Node, error) {
+	hb := t.HyperButterfly
+	want := hb.m + 4
+	hu, bu := hb.Decode(u)
+	hv, bv := hb.Decode(v)
+
+	cubePaths, err := hb.cube.DisjointPaths(hu, hv)
+	if err != nil {
+		return nil, fmt.Errorf("core: implicit case 3: %w", err)
+	}
+	bfPaths, err := hb.bf.DisjointPaths(bu, bv)
+	if err != nil {
+		return nil, fmt.Errorf("core: implicit case 3: %w", err)
+	}
+	cubeRoute := hb.cube.Route(hu, hv)
+	bfRoute := hb.bf.Route(bu, bv)
+
+	index := make(map[Node]int32, 1024)
+	nodes := make([]Node, 0, 1024)
+	add := func(x Node) {
+		if _, ok := index[x]; !ok {
+			index[x] = int32(len(nodes))
+			nodes = append(nodes, x)
+		}
+	}
+
+	add(u)
+	add(v)
+	// Family A: enter column c = P[1] of each cube path P, cross the
+	// butterfly there, finish P in layer bv.
+	for _, cp := range cubePaths {
+		c := cp[1]
+		for _, y := range bfRoute {
+			add(hb.Encode(c, y))
+		}
+		for _, x := range cp[1:] {
+			add(hb.Encode(x, bv))
+		}
+	}
+	// Family B: enter layer q = Q[1] of each butterfly path Q, cross the
+	// cube there, finish Q in column hv.
+	for _, bp := range bfPaths {
+		q := bp[1]
+		for _, x := range cubeRoute {
+			add(hb.Encode(x, q))
+		}
+		for _, y := range bp[1:] {
+			add(hb.Encode(hv, y))
+		}
+	}
+	// Both two-phase shortest routes (cube-then-butterfly and
+	// butterfly-then-cube).
+	for _, x := range cubeRoute {
+		add(hb.Encode(x, bu))
+		add(hb.Encode(x, bv))
+	}
+	for _, y := range bfRoute {
+		add(hb.Encode(hu, y))
+		add(hb.Encode(hv, y))
+	}
+
+	var nbuf []int
+	var lastErr error
+	for hop := 0; hop < implicitWindowHops; hop++ {
+		// Close the window under one more neighborhood hop.
+		frontier := len(nodes)
+		for i := 0; i < frontier; i++ {
+			nbuf = hb.AppendNeighbors(nodes[i], nbuf[:0])
+			for _, w := range nbuf {
+				add(w)
+			}
+		}
+		paths, err := t.extractWindow(index, nodes, u, v, want)
+		if err == nil {
+			return paths, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("core: implicit case 3 (%d..%d after %d window hops): %w",
+		u, v, implicitWindowHops, lastErr)
+}
+
+// extractWindow runs the exact Menger extraction on the subgraph induced
+// by the window and maps the local paths back to instance labels.
+func (t *Implicit) extractWindow(index map[Node]int32, nodes []Node, u, v Node, want int) ([][]Node, error) {
+	hb := t.HyperButterfly
+	edges := make([][2]int, 0, len(nodes)*hb.Degree()/2)
+	var nbuf []int
+	for i, x := range nodes {
+		nbuf = hb.AppendNeighbors(x, nbuf[:0])
+		for _, w := range nbuf {
+			if j, ok := index[w]; ok && int(j) > i {
+				edges = append(edges, [2]int{i, int(j)})
+			}
+		}
+	}
+	local := graph.NewDense(len(nodes), edges)
+	paths, err := graph.NewFlowScratch(local).DisjointPaths(int(index[u]), int(index[v]), want)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) != want {
+		return nil, fmt.Errorf("window of %d vertices yields %d disjoint paths, want %d",
+			len(nodes), len(paths), want)
+	}
+	for _, p := range paths {
+		for i, lv := range p {
+			p[i] = nodes[lv]
+		}
+	}
+	return paths, nil
+}

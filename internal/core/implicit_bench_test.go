@@ -1,0 +1,125 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TestImplicitRouteSteadyStateAllocs is the zero-allocation acceptance
+// gate for the implicit router (style of TestConnectivitySteadyStateAllocs):
+// with a warmed buffer, AppendRoute over a rolling set of pairs must
+// allocate nothing, on a small instance and on HB(10,10).
+func TestImplicitRouteSteadyStateAllocs(t *testing.T) {
+	for _, inst := range []struct{ m, n int }{{3, 3}, {10, 10}} {
+		imp := core.MustNewImplicit(inst.m, inst.n)
+		order := imp.Order()
+		buf := make([]core.Node, 0, imp.DiameterFormula()+1)
+		i := 0
+		if got := testing.AllocsPerRun(200, func() {
+			buf = imp.AppendRoute(i%order, (i*2654435761+7)%order, buf[:0])
+			i++
+		}); got != 0 {
+			t.Errorf("HB(%d,%d): %v allocs per route, want 0", inst.m, inst.n, got)
+		}
+	}
+}
+
+// BenchmarkImplicitRoute measures the zero-alloc implicit router on
+// HB(3,3); BenchmarkDenseRoute is the pre-existing allocating Route on
+// the same instance, for the before/after ratio in EXPERIMENTS.md.
+func BenchmarkImplicitRoute(b *testing.B) {
+	imp := core.MustNewImplicit(3, 3)
+	order := imp.Order()
+	buf := make([]core.Node, 0, imp.DiameterFormula()+1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = imp.AppendRoute(i%order, (i*2654435761+7)%order, buf[:0])
+	}
+}
+
+func BenchmarkDenseRoute(b *testing.B) {
+	hb := core.MustNew(3, 3)
+	order := hb.Order()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hb.Route(i%order, (i*2654435761+7)%order)
+	}
+}
+
+// BenchmarkImplicitRouteGiant routes on HB(10,10) (~10.5M vertices) —
+// impossible for any dense engine in this container — from labels alone.
+func BenchmarkImplicitRouteGiant(b *testing.B) {
+	imp := core.MustNewImplicit(10, 10)
+	order := imp.Order()
+	buf := make([]core.Node, 0, imp.DiameterFormula()+1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = imp.AppendRoute(i%order, (i*2654435761+7)%order, buf[:0])
+	}
+}
+
+// TestGiantInstanceRouteSmoke is the giant-instance acceptance check:
+// construct HB(10,10) (order 10,485,760), route 1000 random pairs, and
+// verify every route by label arithmetic — all in well under the 100ms
+// budget, with no graph construction anywhere on the path.
+func TestGiantInstanceRouteSmoke(t *testing.T) {
+	imp := core.MustNewImplicit(10, 10)
+	if got := imp.Order(); got != 10*1<<20 {
+		t.Fatalf("HB(10,10) order %d, want %d", got, 10*1<<20)
+	}
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]core.Node, 0, imp.DiameterFormula()+1)
+	var nbuf []int
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		u, v := rng.Intn(imp.Order()), rng.Intn(imp.Order())
+		buf = imp.AppendRoute(u, v, buf[:0])
+		if len(buf) != imp.Distance(u, v)+1 {
+			t.Fatalf("route %d..%d has %d vertices, want %d", u, v, len(buf), imp.Distance(u, v)+1)
+		}
+		for j := 1; j < len(buf); j++ {
+			nbuf = imp.AppendNeighbors(buf[j-1], nbuf[:0])
+			ok := false
+			for _, w := range nbuf {
+				if w == buf[j] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("route %d..%d uses non-edge %d-%d", u, v, buf[j-1], buf[j])
+			}
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("1000 verified routes on HB(10,10) took %v, want <100ms", elapsed)
+	}
+}
+
+// TestGiantInstanceDisjointPathsSmoke exercises the case-3 window
+// engine at HB(10,10) scale: all 14 Theorem 5 paths between two fully
+// differing labels, verified against implicit adjacency.
+func TestGiantInstanceDisjointPathsSmoke(t *testing.T) {
+	imp := core.MustNewImplicit(10, 10)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3; i++ {
+		u, v := rng.Intn(imp.Order()), rng.Intn(imp.Order())
+		if u == v {
+			continue
+		}
+		paths, err := imp.DisjointPaths(u, v)
+		if err != nil {
+			t.Fatalf("DisjointPaths(%d,%d): %v", u, v, err)
+		}
+		if len(paths) != imp.ConnectivityFormula() {
+			t.Fatalf("DisjointPaths(%d,%d): %d paths, want %d", u, v, len(paths), imp.ConnectivityFormula())
+		}
+		if err := graph.VerifyDisjointPaths(imp, u, v, paths); err != nil {
+			t.Fatalf("pair (%d,%d): %v", u, v, err)
+		}
+	}
+}

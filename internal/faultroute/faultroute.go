@@ -5,10 +5,18 @@
 // intact, so delivery can always succeed while the network is within its
 // fault-tolerance bound — the "maximal fault tolerance" the paper is
 // named for.
+//
+// The router works against any core.Topology backend. Fault state is
+// sparse (proportional to the fault count, not the order), and the only
+// strategies that touch order-sized state — the BFS last resort and the
+// exhaustive Connected check — are gated behind ExhaustiveMaxOrder, so a
+// router over an implicit HB(10,10) stays within the Theorem 5 ladder
+// and never allocates ten-million-entry masks.
 package faultroute
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -23,13 +31,12 @@ import (
 // for concurrent use; reads of the exported Stats field are only
 // meaningful while no Route call is in flight.
 type Router struct {
-	hb *core.HyperButterfly
+	hb core.Topology
 
 	mu     sync.Mutex
-	faulty []bool
-	nfault int
-	epoch  uint64 // bumps on every effective Fail/Recover
-	last   string // strategy of the most recent successful Route
+	faulty map[core.Node]bool // sparse: only faulty nodes are present
+	epoch  uint64             // bumps on every effective Fail/Recover
+	last   string             // strategy of the most recent successful Route
 	cache  map[pairKey]cachedRoute
 
 	// Stats counts which strategy satisfied each Route call; useful for
@@ -55,17 +62,21 @@ type cachedRoute struct {
 // unbounded growth under adversarial query streams).
 const routerCacheMax = 4096
 
-// New returns a Router for hb with the given faulty nodes.
-func New(hb *core.HyperButterfly, faults []core.Node) (*Router, error) {
-	r := &Router{hb: hb, faulty: make([]bool, hb.Order()), cache: make(map[pairKey]cachedRoute)}
+// ExhaustiveMaxOrder caps the instance order up to which the router
+// will fall back to order-sized computations (the BFS strategy beyond
+// the Theorem 5 guarantee, and the exhaustive Connected check). Above
+// it those paths answer from the Corollary 1 guarantee instead.
+const ExhaustiveMaxOrder = 1 << 21
+
+// New returns a Router for any Topology backend with the given faulty
+// nodes.
+func New(hb core.Topology, faults []core.Node) (*Router, error) {
+	r := &Router{hb: hb, faulty: make(map[core.Node]bool, len(faults)), cache: make(map[pairKey]cachedRoute)}
 	for _, f := range faults {
-		if f < 0 || f >= hb.Order() {
+		if !hb.ValidNode(f) {
 			return nil, fmt.Errorf("faultroute: fault %d out of range [0,%d)", f, hb.Order())
 		}
-		if !r.faulty[f] {
-			r.faulty[f] = true
-			r.nfault++
-		}
+		r.faulty[f] = true
 	}
 	return r, nil
 }
@@ -74,7 +85,7 @@ func New(hb *core.HyperButterfly, faults []core.Node) (*Router, error) {
 // invalidated; everything else stays warm. Returns whether the set
 // changed.
 func (r *Router) Fail(v core.Node) (bool, error) {
-	if v < 0 || v >= r.hb.Order() {
+	if !r.hb.ValidNode(v) {
 		return false, fmt.Errorf("faultroute: fault %d out of range [0,%d)", v, r.hb.Order())
 	}
 	r.mu.Lock()
@@ -83,7 +94,6 @@ func (r *Router) Fail(v core.Node) (bool, error) {
 		return false, nil
 	}
 	r.faulty[v] = true
-	r.nfault++
 	r.epoch++
 	for k, c := range r.cache {
 		for _, x := range c.path {
@@ -101,7 +111,7 @@ func (r *Router) Fail(v core.Node) (bool, error) {
 // may now have shorter alternatives, so every non-optimal entry is
 // invalidated. Returns whether the set changed.
 func (r *Router) Recover(v core.Node) (bool, error) {
-	if v < 0 || v >= r.hb.Order() {
+	if !r.hb.ValidNode(v) {
 		return false, fmt.Errorf("faultroute: fault %d out of range [0,%d)", v, r.hb.Order())
 	}
 	r.mu.Lock()
@@ -109,8 +119,7 @@ func (r *Router) Recover(v core.Node) (bool, error) {
 	if !r.faulty[v] {
 		return false, nil
 	}
-	r.faulty[v] = false
-	r.nfault--
+	delete(r.faulty, v)
 	r.epoch++
 	for k, c := range r.cache {
 		if c.strategy != "optimal" {
@@ -122,29 +131,31 @@ func (r *Router) Recover(v core.Node) (bool, error) {
 
 // SetFaults moves the router to exactly the given fault set by diffing
 // against the current one — the incremental path a caching server uses
-// when consecutive requests carry similar fault sets.
+// when consecutive requests carry similar fault sets. The diff costs
+// O(|old| + |new|) regardless of the instance order.
 func (r *Router) SetFaults(faults []core.Node) error {
-	want := make([]bool, r.hb.Order())
+	want := make(map[core.Node]bool, len(faults))
 	for _, f := range faults {
-		if f < 0 || f >= r.hb.Order() {
+		if !r.hb.ValidNode(f) {
 			return fmt.Errorf("faultroute: fault %d out of range [0,%d)", f, r.hb.Order())
 		}
 		want[f] = true
 	}
-	for v := 0; v < r.hb.Order(); v++ {
-		r.mu.Lock()
-		have := r.faulty[v]
-		r.mu.Unlock()
-		if have == want[v] {
-			continue
+	r.mu.Lock()
+	have := make([]core.Node, 0, len(r.faulty))
+	for v := range r.faulty {
+		have = append(have, v)
+	}
+	r.mu.Unlock()
+	for _, v := range have {
+		if !want[v] {
+			if _, err := r.Recover(v); err != nil {
+				return err
+			}
 		}
-		var err error
-		if want[v] {
-			_, err = r.Fail(v)
-		} else {
-			_, err = r.Recover(v)
-		}
-		if err != nil {
+	}
+	for v := range want {
+		if _, err := r.Fail(v); err != nil {
 			return err
 		}
 	}
@@ -155,12 +166,11 @@ func (r *Router) SetFaults(faults []core.Node) error {
 func (r *Router) FaultList() []core.Node {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]core.Node, 0, r.nfault)
-	for v, down := range r.faulty {
-		if down {
-			out = append(out, v)
-		}
+	out := make([]core.Node, 0, len(r.faulty))
+	for v := range r.faulty {
+		out = append(out, v)
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -175,7 +185,7 @@ func (r *Router) Epoch() uint64 {
 // fresh fault set per query (the conformance harness, the hbd
 // /faultroute endpoint): build a router, route once, report the
 // strategy that delivered.
-func Route(hb *core.HyperButterfly, faults []core.Node, u, v core.Node) ([]core.Node, string, error) {
+func Route(hb core.Topology, faults []core.Node, u, v core.Node) ([]core.Node, string, error) {
 	r, err := New(hb, faults)
 	if err != nil {
 		return nil, "", err
@@ -200,7 +210,7 @@ func (r *Router) LastStrategy() string {
 func (r *Router) FaultCount() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.nfault
+	return len(r.faulty)
 }
 
 // Faulty reports whether v is faulty.
@@ -216,7 +226,7 @@ func (r *Router) Faulty(v core.Node) bool {
 func (r *Router) WithinGuarantee() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.nfault <= r.hb.M()+3
+	return len(r.faulty) <= r.hb.M()+3
 }
 
 // pathClear reports whether a path avoids every fault (endpoints
@@ -239,7 +249,10 @@ func (r *Router) pathClear(path []core.Node) bool {
 //     closest to v, with a bounded misroute allowance);
 //  3. the first fault-free path among the m+4 disjoint paths of
 //     Theorem 5 — guaranteed to exist while faults <= m+3;
-//  4. plain BFS avoiding faults, for operation beyond the guarantee.
+//  4. plain BFS avoiding faults, for operation beyond the guarantee —
+//     on instances up to ExhaustiveMaxOrder only (an implicit
+//     HB(10,10) router skips it rather than allocate an order-sized
+//     visited set).
 //
 // It fails only if u or v is faulty or the faults actually disconnect
 // the pair (possible only with more than m+3 faults).
@@ -267,7 +280,7 @@ func (r *Router) Route(u, v core.Node) ([]core.Node, error) {
 	}
 	path, strategy := r.routeLocked(u, v)
 	if path == nil {
-		return nil, fmt.Errorf("faultroute: %d faults disconnect %d from %d", r.nfault, u, v)
+		return nil, fmt.Errorf("faultroute: %d faults disconnect %d from %d", len(r.faulty), u, v)
 	}
 	r.countStrategy(strategy)
 	r.last = strategy
@@ -293,10 +306,22 @@ func (r *Router) routeLocked(u, v core.Node) ([]core.Node, string) {
 			}
 		}
 	}
-	if p := graph.BFSPath(r.hb, u, v, r.faulty); p != nil {
-		return p, "bfs"
+	if r.hb.Order() <= ExhaustiveMaxOrder {
+		if p := graph.BFSPath(r.hb, u, v, r.faultMask()); p != nil {
+			return p, "bfs"
+		}
 	}
 	return nil, ""
+}
+
+// faultMask expands the sparse fault set into the order-sized mask the
+// graph algorithms take; callers gate on ExhaustiveMaxOrder first.
+func (r *Router) faultMask() []bool {
+	mask := make([]bool, r.hb.Order())
+	for v := range r.faulty {
+		mask[v] = true
+	}
+	return mask
 }
 
 func (r *Router) countStrategy(strategy string) {
@@ -355,10 +380,19 @@ func (r *Router) greedy(u, v core.Node) ([]core.Node, bool) {
 }
 
 // Connected reports whether the fault-free part of the network is still
-// connected. With at most m+3 faults it always is (Corollary 1).
+// connected. Up to ExhaustiveMaxOrder the answer is exact (a full
+// sweep); beyond it the sweep is infeasible and Connected answers from
+// Corollary 1 — true while the fault count is within the m+3 guarantee,
+// conservatively false otherwise (it cannot certify connectivity it did
+// not check).
 func (r *Router) Connected() bool {
 	r.mu.Lock()
-	mask := append([]bool(nil), r.faulty...)
+	if r.hb.Order() > ExhaustiveMaxOrder {
+		ok := len(r.faulty) <= r.hb.M()+3
+		r.mu.Unlock()
+		return ok
+	}
+	mask := r.faultMask()
 	r.mu.Unlock()
 	return graph.IsConnected(r.hb, mask)
 }

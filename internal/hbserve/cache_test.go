@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func TestCacheHitMiss(t *testing.T) {
@@ -164,9 +166,11 @@ func TestPoolLazyBuildAndEviction(t *testing.T) {
 }
 
 func TestPoolRejectsOversized(t *testing.T) {
-	p := &Pool{MaxOrder: 1000}
+	// ImplicitMaxOrder < 0 disables the implicit tier, restoring the
+	// strict pre-tier rejection semantics.
+	p := &Pool{MaxOrder: 1000, ImplicitMaxOrder: -1}
 	if _, err := p.Get(Dims{M: 3, N: 8}); err == nil {
-		t.Error("accepted an instance over MaxOrder")
+		t.Error("accepted an instance over MaxOrder with the implicit tier disabled")
 	}
 	if _, err := p.Get(Dims{M: -1, N: 3}); err == nil {
 		t.Error("accepted m=-1")
@@ -176,6 +180,35 @@ func TestPoolRejectsOversized(t *testing.T) {
 	}
 	if p.Len() != 0 {
 		t.Errorf("rejected dims left %d residents", p.Len())
+	}
+}
+
+// TestPoolImplicitTier pins the two-tier order policy: at or below
+// MaxOrder the pool hands out the dense-capable backend, between
+// MaxOrder and ImplicitMaxOrder the label-arithmetic one, and above
+// ImplicitMaxOrder it rejects.
+func TestPoolImplicitTier(t *testing.T) {
+	p := &Pool{MaxOrder: 1000, ImplicitMaxOrder: 20000}
+	small, err := p.Get(Dims{M: 1, N: 3}) // order 48
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := small.(*core.HyperButterfly); !ok {
+		t.Errorf("order 48 got %T, want the dense tier", small)
+	}
+	big, err := p.Get(Dims{M: 3, N: 8}) // order 16384
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, ok := big.(*core.Implicit)
+	if !ok {
+		t.Fatalf("order 16384 got %T, want the implicit tier", big)
+	}
+	if imp.Order() != 16384 {
+		t.Errorf("implicit instance order %d, want 16384", imp.Order())
+	}
+	if _, err := p.Get(Dims{M: 4, N: 9}); err == nil {
+		t.Error("accepted order 9*2^13 over ImplicitMaxOrder")
 	}
 }
 

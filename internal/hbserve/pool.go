@@ -18,18 +18,30 @@ type Dims struct {
 func (d Dims) String() string { return fmt.Sprintf("HB(%d,%d)", d.M, d.N) }
 
 // Pool is a bounded, lazily-filled cache of constructed HB(m,n)
-// instances. Construction is cheap (labels only — the dense adjacency
+// backends. Construction is cheap (labels only — the dense adjacency
 // is built lazily by core on demand), but instances pin memory once
 // their adjacency or route caches warm up, so the pool evicts the
 // least-recently-used instance beyond Max. A per-entry sync.Once keeps
 // concurrent first requests for the same dims from building twice, and
 // the pool lock is never held across construction.
+//
+// The pool is two-tiered by order: instances up to MaxOrder get the
+// dense-capable *core.HyperButterfly backend (verify=1 runs real BFS
+// oracles against them); instances up to ImplicitMaxOrder get the
+// label-arithmetic *core.Implicit backend, which serves /route, /paths
+// and /faultroute on e.g. HB(10,10) (~10.5M nodes) with zero graph
+// construction.
 type Pool struct {
 	// Max is the instance cap; <= 0 means DefaultPoolMax.
 	Max int
-	// MaxOrder rejects dimensions whose node count exceeds it, bounding
-	// the memory a single query can pin; <= 0 means DefaultMaxOrder.
+	// MaxOrder bounds the dense tier: dimensions above it are served
+	// implicitly rather than rejected; <= 0 means DefaultMaxOrder.
 	MaxOrder int
+	// ImplicitMaxOrder bounds the implicit tier; dimensions above it are
+	// rejected. 0 means DefaultImplicitMaxOrder; < 0 disables implicit
+	// serving entirely (orders above MaxOrder are rejected, the pre-tier
+	// behaviour).
+	ImplicitMaxOrder int
 
 	mu      sync.Mutex
 	entries map[Dims]*poolEntry
@@ -38,36 +50,51 @@ type Pool struct {
 	evictions uint64
 
 	// construct builds an instance; tests override it to hold a build
-	// open and race evictions against it. Nil means core.New.
-	construct func(d Dims) (*core.HyperButterfly, error)
+	// open and race evictions against it. Nil means core.New /
+	// core.NewImplicit by order tier.
+	construct func(d Dims) (core.Topology, error)
 }
 
 // DefaultPoolMax bounds the number of live instances.
 const DefaultPoolMax = 8
 
-// DefaultMaxOrder caps the size of a single instance: HB(3,8) — the
-// paper's own large example, 16384 nodes — fits with headroom.
+// DefaultMaxOrder caps the dense tier: HB(3,8) — the paper's own large
+// example, 16384 nodes — fits with headroom.
 const DefaultMaxOrder = 1 << 17
+
+// DefaultImplicitMaxOrder caps the implicit tier. Implicit instances
+// hold no adjacency, so the bound exists only to keep per-request label
+// work (and response sizes) sane; HB(10,10) at ~10.5M nodes fits.
+const DefaultImplicitMaxOrder = 1 << 24
 
 type poolEntry struct {
 	once  sync.Once
 	built atomic.Bool // set after once.Do completes; evictions prefer built entries
-	hb    *core.HyperButterfly
+	top   core.Topology
 	err   error
 	elem  *list.Element
 }
 
-// Get returns the HB(d.M, d.N) instance, constructing it on first use
+// Get returns the HB(d.M, d.N) backend, constructing it on first use
 // and bumping its recency. Safe for concurrent use.
-func (p *Pool) Get(d Dims) (*core.HyperButterfly, error) {
+func (p *Pool) Get(d Dims) (core.Topology, error) {
 	maxOrder := p.MaxOrder
 	if maxOrder <= 0 {
 		maxOrder = DefaultMaxOrder
 	}
-	if order, err := orderOf(d); err != nil {
+	implicitMax := p.ImplicitMaxOrder
+	if implicitMax == 0 {
+		implicitMax = DefaultImplicitMaxOrder
+	}
+	if implicitMax < maxOrder {
+		implicitMax = maxOrder // implicit tier never shrinks below the dense tier
+	}
+	order, err := orderOf(d)
+	if err != nil {
 		return nil, err
-	} else if order > maxOrder {
-		return nil, fmt.Errorf("hbserve: %v has %d nodes, over the service cap %d", d, order, maxOrder)
+	}
+	if order > implicitMax {
+		return nil, fmt.Errorf("hbserve: %v has %d nodes, over the service cap %d", d, order, implicitMax)
 	}
 
 	p.mu.Lock()
@@ -111,14 +138,17 @@ func (p *Pool) Get(d Dims) (*core.HyperButterfly, error) {
 	p.mu.Unlock()
 
 	e.once.Do(func() {
-		if p.construct != nil {
-			e.hb, e.err = p.construct(d)
-		} else {
-			e.hb, e.err = core.New(d.M, d.N)
+		switch {
+		case p.construct != nil:
+			e.top, e.err = p.construct(d)
+		case order > maxOrder:
+			e.top, e.err = core.NewImplicit(d.M, d.N)
+		default:
+			e.top, e.err = core.New(d.M, d.N)
 		}
 		e.built.Store(true)
 	})
-	return e.hb, e.err
+	return e.top, e.err
 }
 
 // Len returns the number of resident constructed instances; entries

@@ -189,7 +189,7 @@ func TestPoolNeverEvictsInFlightBuild(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	p := &Pool{Max: 1}
-	p.construct = func(d Dims) (*core.HyperButterfly, error) {
+	p.construct = func(d Dims) (core.Topology, error) {
 		if d == d1 {
 			close(started)
 			<-release
@@ -197,7 +197,7 @@ func TestPoolNeverEvictsInFlightBuild(t *testing.T) {
 		return core.New(d.M, d.N)
 	}
 
-	got := make(chan *core.HyperButterfly, 1)
+	got := make(chan core.Topology, 1)
 	go func() {
 		hb, err := p.Get(d1)
 		if err != nil {

@@ -11,7 +11,18 @@
 // bytes, so identical queries return byte-identical bodies no matter
 // how they interleave. /faultroute takes a caller-supplied fault set
 // and is deliberately uncached (fault sets are high-cardinality);
-// /conformance re-runs the paper's invariant registry on demand.
+// /conformance re-runs the paper's invariant registry on demand;
+// /estimate answers sampled diameter/distance questions with explicit
+// confidence statements on instances too large for exact sweeps.
+//
+// Instances are served through the core.Topology interface: small
+// dimensions get the dense-capable backend (verify=1 replays a BFS
+// oracle), while dimensions above the dense cap get the pure
+// label-arithmetic implicit backend, so a cold hbd answers /route,
+// /paths and /faultroute on HB(10,10) (~10.5M nodes) without ever
+// materialising a graph. Verification on the implicit tier is also
+// label-arithmetic: per-hop neighborhood membership plus the analytic
+// distance, and graph.VerifyDisjointPaths for path certificates.
 package hbserve
 
 import (
@@ -70,10 +81,14 @@ type instanceRouter struct {
 
 // Config sizes a Server. Zero values select the defaults.
 type Config struct {
-	PoolMax    int // max resident HB instances (DefaultPoolMax)
-	MaxOrder   int // max nodes per instance (DefaultMaxOrder)
-	CacheSize  int // route-cache capacity in entries; < 0 disables
-	CacheShard int // route-cache shard count (DefaultCacheShards)
+	PoolMax  int // max resident HB instances (DefaultPoolMax)
+	MaxOrder int // max nodes on the dense tier (DefaultMaxOrder)
+	// ImplicitMaxOrder caps the label-arithmetic tier serving instances
+	// above MaxOrder; 0 means DefaultImplicitMaxOrder, < 0 disables
+	// implicit serving.
+	ImplicitMaxOrder int
+	CacheSize        int // route-cache capacity in entries; < 0 disables
+	CacheShard       int // route-cache shard count (DefaultCacheShards)
 	// RequestTimeout bounds each instrumented request via its context;
 	// 0 means DefaultRequestTimeout, < 0 disables the deadline.
 	RequestTimeout time.Duration
@@ -116,7 +131,7 @@ func NewServer(cfg Config) *Server {
 		maxInFlight = DefaultMaxInFlight
 	}
 	s := &Server{
-		pool:        &Pool{Max: cfg.PoolMax, MaxOrder: cfg.MaxOrder},
+		pool:        &Pool{Max: cfg.PoolMax, MaxOrder: cfg.MaxOrder, ImplicitMaxOrder: cfg.ImplicitMaxOrder},
 		cache:       NewRouteCache(size, cfg.CacheShard),
 		metrics:     NewMetrics(),
 		mux:         http.NewServeMux(),
@@ -130,6 +145,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/faultroute", s.instrument("faultroute", s.handleFaultRoute))
 	s.mux.HandleFunc("/info", s.instrument("info", s.handleInfo))
 	s.mux.HandleFunc("/conformance", s.instrument("conformance", s.handleConformance))
+	s.mux.HandleFunc("/estimate", s.instrument("estimate", s.handleEstimate))
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -304,7 +320,7 @@ func writeCached(w http.ResponseWriter, body []byte, hit bool) {
 
 // query parsing ------------------------------------------------------
 
-func (s *Server) instance(r *http.Request) (*core.HyperButterfly, Dims, error) {
+func (s *Server) instance(r *http.Request) (core.Topology, Dims, error) {
 	m, err := intParam(r, "m", 2)
 	if err != nil {
 		return nil, Dims{}, err
@@ -314,11 +330,25 @@ func (s *Server) instance(r *http.Request) (*core.HyperButterfly, Dims, error) {
 		return nil, Dims{}, err
 	}
 	d := Dims{M: m, N: n}
-	hb, err := s.pool.Get(d)
+	top, err := s.pool.Get(d)
 	if err != nil {
 		return nil, d, badRequest("%v", err)
 	}
-	return hb, d, nil
+	return top, d, nil
+}
+
+// denseBackend unwraps a Topology to its dense-capable instance, or nil
+// when none exists. An Implicit shares the underlying instance, so
+// unwrapping it is safe wherever an order cap already bounds the dense
+// work (the /conformance handler).
+func denseBackend(top core.Topology) *core.HyperButterfly {
+	switch t := top.(type) {
+	case *core.HyperButterfly:
+		return t
+	case *core.Implicit:
+		return t.HyperButterfly
+	}
+	return nil
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {
@@ -333,7 +363,7 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
-func nodeParam(r *http.Request, hb *core.HyperButterfly, name string) (core.Node, error) {
+func nodeParam(r *http.Request, top core.Topology, name string) (core.Node, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
 		return 0, badRequest("missing node parameter %q", name)
@@ -342,8 +372,8 @@ func nodeParam(r *http.Request, hb *core.HyperButterfly, name string) (core.Node
 	if err != nil {
 		return 0, badRequest("node parameter %s=%q is not an integer", name, raw)
 	}
-	if !hb.ValidNode(v) {
-		return 0, badRequest("node %s=%d out of range [0,%d)", name, v, hb.Order())
+	if !top.ValidNode(v) {
+		return 0, badRequest("node %s=%d out of range [0,%d)", name, v, top.Order())
 	}
 	return v, nil
 }
@@ -535,7 +565,7 @@ func (s *Server) handleFaultRoute(w http.ResponseWriter, r *http.Request) {
 // routerFor returns the resident incremental router for d, building it
 // on first use. The map is bounded by maxFaultRouters and simply reset
 // when full — routers rebuild in microseconds.
-func (s *Server) routerFor(d Dims, hb *core.HyperButterfly) (*instanceRouter, error) {
+func (s *Server) routerFor(d Dims, top core.Topology) (*instanceRouter, error) {
 	s.routersMu.Lock()
 	defer s.routersMu.Unlock()
 	if ir, ok := s.routers[d]; ok {
@@ -544,7 +574,7 @@ func (s *Server) routerFor(d Dims, hb *core.HyperButterfly) (*instanceRouter, er
 	if len(s.routers) >= maxFaultRouters {
 		s.routers = make(map[Dims]*instanceRouter)
 	}
-	r, err := faultroute.New(hb, nil)
+	r, err := faultroute.New(top, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -557,7 +587,7 @@ func (s *Server) routerFor(d Dims, hb *core.HyperButterfly) (*instanceRouter, er
 // always-non-nil slice, so the echoed "faults" field is a canonical JSON
 // array ([] rather than null, 3,3,1 rendered as [1,3]) regardless of how
 // the caller spelled the query.
-func faultsParam(r *http.Request, hb *core.HyperButterfly) ([]int, error) {
+func faultsParam(r *http.Request, top core.Topology) ([]int, error) {
 	out := []int{}
 	raw := r.URL.Query().Get("faults")
 	if raw == "" {
@@ -568,8 +598,8 @@ func faultsParam(r *http.Request, hb *core.HyperButterfly) ([]int, error) {
 		if err != nil {
 			return nil, badRequest("fault id %q is not an integer", p)
 		}
-		if !hb.ValidNode(f) {
-			return nil, badRequest("fault %d out of range [0,%d)", f, hb.Order())
+		if !top.ValidNode(f) {
+			return nil, badRequest("fault %d out of range [0,%d)", f, top.Order())
 		}
 		out = append(out, f)
 	}
@@ -616,14 +646,22 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 const maxConformanceOrder = 1 << 12
 
 func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
-	hb, d, err := s.instance(r)
+	top, d, err := s.instance(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	if hb.Order() > maxConformanceOrder {
+	if top.Order() > maxConformanceOrder {
 		writeErr(w, badRequest("conformance on %v (%d nodes) exceeds the on-demand cap %d",
-			d, hb.Order(), maxConformanceOrder))
+			d, top.Order(), maxConformanceOrder))
+		return
+	}
+	// The registry needs the dense-capable instance; the order cap above
+	// keeps its materialisation trivial even when d resolved to the
+	// implicit tier under a small configured MaxOrder.
+	hb := denseBackend(top)
+	if hb == nil {
+		writeErr(w, badRequest("conformance unsupported on backend %T", top))
 		return
 	}
 	if err := checkDeadline(r); err != nil {
@@ -636,6 +674,104 @@ func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
 		conformance.Options{},
 	)
 	writeJSON(w, rep)
+}
+
+// estimate request caps: samples are bounded so a request stays well
+// under the deadline even at ~µs per label-arithmetic distance, and
+// exact source scans (Order distance evaluations each) are only allowed
+// on instances small enough to finish one quickly.
+const (
+	defaultEstimateSamples = 2048
+	maxEstimateSamples     = 1 << 16
+	maxScanSources         = 4
+	maxScanOrder           = 1 << 20
+)
+
+type estimateResponse struct {
+	M     int `json:"m"`
+	N     int `json:"n"`
+	Order int `json:"order"`
+
+	Samples    int     `json:"samples"`
+	Confidence float64 `json:"confidence"`
+	Seed       int64   `json:"seed"`
+
+	DiameterLower   int `json:"diameter_lower"`
+	DiameterUpper   int `json:"diameter_upper"`
+	DiameterFormula int `json:"diameter_formula"`
+	ScannedSources  int `json:"scanned_sources,omitempty"`
+
+	MeanDistance float64   `json:"mean_distance"`
+	MeanCI       float64   `json:"mean_ci"`
+	CIHalfWidth  float64   `json:"ci_half_width"`
+	Fractions    []float64 `json:"fractions"`
+}
+
+// handleEstimate answers sampled structural questions — a diameter
+// bracket and the distance distribution with Hoeffding intervals — from
+// the distance oracle alone, so it works unchanged on the implicit tier
+// where exact sweeps are out of reach. Uncached: the seed parameter
+// makes the response identity high-cardinality and recomputation is
+// only milliseconds.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	top, d, err := s.instance(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	samples, err := intParam(r, "samples", defaultEstimateSamples)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if samples < 1 || samples > maxEstimateSamples {
+		writeErr(w, badRequest("samples=%d outside [1,%d]", samples, maxEstimateSamples))
+		return
+	}
+	seed, err := intParam(r, "seed", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	scan, err := intParam(r, "scan", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if scan < 0 || scan > maxScanSources {
+		writeErr(w, badRequest("scan=%d outside [0,%d]", scan, maxScanSources))
+		return
+	}
+	if scan > 0 && top.Order() > maxScanOrder {
+		writeErr(w, badRequest("scan on %v (%d nodes) exceeds the exact-scan cap %d", d, top.Order(), maxScanOrder))
+		return
+	}
+	if err := checkDeadline(r); err != nil {
+		writeErr(w, err)
+		return
+	}
+	cfg := graph.EstConfig{
+		Samples:     samples,
+		Seed:        int64(seed),
+		KnownUpper:  top.DiameterFormula(),
+		ScanSources: scan,
+	}
+	de := graph.EstimateDiameter(top.Order(), top.Distance, cfg)
+	he := graph.EstimateDistanceHistogram(top.Order(), top.Distance, cfg)
+	writeJSON(w, estimateResponse{
+		M: d.M, N: d.N, Order: top.Order(),
+		Samples:         samples,
+		Confidence:      he.Confidence,
+		Seed:            int64(seed),
+		DiameterLower:   de.Lower,
+		DiameterUpper:   de.Upper,
+		DiameterFormula: top.DiameterFormula(),
+		ScannedSources:  de.ScannedSources,
+		MeanDistance:    he.MeanDistance,
+		MeanCI:          he.MeanCI,
+		CIHalfWidth:     he.CIHalfWidth,
+		Fractions:       he.Fractions,
+	})
 }
 
 // cacheKey builds the full query identity for the route cache. The
@@ -668,13 +804,33 @@ func (s *Server) bfsDist(hb *core.HyperButterfly, u int, read func(dist []int32)
 }
 
 // verifyRoute independently checks a /route answer: the path must run
-// u -> v over real edges and its length must equal the BFS distance
-// (Theorem 3 routes are optimal).
-func (s *Server) verifyRoute(hb *core.HyperButterfly, u, v int, path []int) error {
-	dense := hb.Dense()
+// u -> v over real edges and its length must equal the shortest-path
+// distance (Theorem 3 routes are optimal). On the dense tier the oracle
+// is a pooled-scratch BFS over the materialised adjacency; on the
+// implicit tier — where building that adjacency is the very thing the
+// backend avoids — every hop is checked against the label-computed
+// neighborhood of its predecessor and the length against the analytic
+// distance, which the implicit differential gate holds to BFS equality
+// on every conformance instance.
+func (s *Server) verifyRoute(top core.Topology, u, v int, path []int) error {
 	if len(path) == 0 || path[0] != u || path[len(path)-1] != v {
 		return fmt.Errorf("route verification failed: path endpoints %v, want %d -> %d", path, u, v)
 	}
+	hb, denseTier := top.(*core.HyperButterfly)
+	if !denseTier {
+		var buf []int
+		for i := 1; i < len(path); i++ {
+			var ok bool
+			if buf, ok = implicitHasEdge(top, path[i-1], path[i], buf); !ok {
+				return fmt.Errorf("route verification failed: %d-%d is not an edge", path[i-1], path[i])
+			}
+		}
+		if want := top.Distance(u, v); len(path)-1 != want {
+			return fmt.Errorf("route verification failed: length %d, distance %d", len(path)-1, want)
+		}
+		return nil
+	}
+	dense := hb.Dense()
 	for i := 1; i < len(path); i++ {
 		if !dense.HasEdge(path[i-1], path[i]) {
 			return fmt.Errorf("route verification failed: %d-%d is not an edge", path[i-1], path[i])
@@ -688,9 +844,39 @@ func (s *Server) verifyRoute(hb *core.HyperButterfly, u, v int, path []int) erro
 	})
 }
 
+// implicitHasEdge reports whether u-w is an edge using only the label
+// neighborhood of u; it returns the (possibly grown) scratch buffer so
+// a verification loop reuses one allocation.
+func implicitHasEdge(top core.Topology, u, w int, buf []int) ([]int, bool) {
+	buf = top.AppendNeighbors(u, buf[:0])
+	for _, x := range buf {
+		if x == w {
+			return buf, true
+		}
+	}
+	return buf, false
+}
+
 // verifyPaths independently checks a /paths answer: every path must run
-// u -> v over real edges and be no shorter than the BFS distance.
-func (s *Server) verifyPaths(hb *core.HyperButterfly, u, v int, paths [][]int) error {
+// u -> v over real edges, the set must be internally vertex-disjoint,
+// and no path may be shorter than the shortest-path distance. The dense
+// tier uses the BFS oracle; the implicit tier certifies the set with
+// graph.VerifyDisjointPaths (every Topology is a graph.Graph) against
+// the analytic distance.
+func (s *Server) verifyPaths(top core.Topology, u, v int, paths [][]int) error {
+	hb, denseTier := top.(*core.HyperButterfly)
+	if !denseTier {
+		if err := graph.VerifyDisjointPaths(top, u, v, paths); err != nil {
+			return fmt.Errorf("paths verification failed: %v", err)
+		}
+		minLen := top.Distance(u, v)
+		for pi, p := range paths {
+			if len(p)-1 < minLen {
+				return fmt.Errorf("paths verification failed: path %d length %d below distance %d", pi, len(p)-1, minLen)
+			}
+		}
+		return nil
+	}
 	dense := hb.Dense()
 	return s.bfsDist(hb, u, func(dist []int32) error {
 		for pi, p := range paths {

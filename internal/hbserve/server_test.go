@@ -171,7 +171,7 @@ func TestBadInputs(t *testing.T) {
 		{"negative node", "/paths?m=2&n=3&u=-1&v=5"},
 		{"missing node", "/route?m=2&n=3&u=0"},
 		{"bad dims", "/info?m=2&n=2"},
-		{"huge dims", "/info?m=12&n=8"},
+		{"huge dims", "/info?m=20&n=5"},
 		{"non-integer dim", "/info?m=two&n=3"},
 		{"bad fault id", "/faultroute?m=2&n=3&u=0&v=5&faults=1,x"},
 		{"equal endpoints", "/paths?m=2&n=3&u=5&v=5"},
