@@ -17,11 +17,20 @@
 //	hbsim -mode chaos -m 2 -n 3 -rate 0.05 -cycles 800
 //	    dynamic fault injection: churn + adversarial min-cut schedules
 //	    with in-flight rerouting; exits 1 on any Remark-10 violation (E-CH)
+//	hbsim -mode noc -m 3 -n 3 -rate 0.5 -cycles 2000 -vcs 4 -bufdepth 2 -out BENCH_noc.json
+//	    event-driven NoC engine (E-NC): engine-vs-oracle flit throughput,
+//	    HB vs hyper-deBruijn saturation curves with escape-channel
+//	    adaptive routing, collectives under load, churn resilience;
+//	    exits 1 if any adaptive run deadlocks
+//
+// Exit status: 0 on success, 1 on a simulation or gate failure, 2 on a
+// usage error (unknown mode or pattern, malformed flags).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"text/tabwriter"
@@ -39,110 +48,187 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "traffic", "traffic | faults | broadcast | election | faultdiam | wormhole | chaos")
-	m := flag.Int("m", 2, "hypercube dimension")
-	n := flag.Int("n", 4, "butterfly dimension")
-	rate := flag.Float64("rate", 0.05, "injection rate per node per cycle")
-	cycles := flag.Int("cycles", 2000, "simulated cycles")
-	trials := flag.Int("trials", 200, "trials per fault count")
-	seed := flag.Int64("seed", 1, "rng seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	switch *mode {
-	case "traffic":
-		traffic(*m, *n, *rate, *cycles, *seed)
-	case "faults":
-		faults(*m, *n, *trials, *seed)
-	case "broadcast":
-		bcast(*m, *n)
-	case "election":
-		elect(*m, *n, *seed)
-	case "faultdiam":
-		faultDiam(*m, *n, *trials, *seed)
-	case "wormhole":
-		worm(*m, *n, *rate, *cycles, *seed)
-	case "chaos":
-		chaos(*m, *n, *rate, *cycles, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "hbsim: unknown mode %q\n", *mode)
-		os.Exit(2)
+// usageError marks bad invocations (exit 2); every other error exits 1.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hbsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "traffic", "traffic | faults | broadcast | election | faultdiam | wormhole | chaos | noc")
+	m := fs.Int("m", 2, "hypercube dimension")
+	n := fs.Int("n", 4, "butterfly dimension")
+	rate := fs.Float64("rate", 0.05, "injection rate per node per cycle")
+	cycles := fs.Int("cycles", 2000, "simulated cycles")
+	trials := fs.Int("trials", 200, "trials per fault count")
+	seed := fs.Int64("seed", 1, "rng seed")
+	vcs := fs.Int("vcs", 4, "virtual channels per link (noc)")
+	bufdepth := fs.Int("bufdepth", 2, "flit buffer depth per (link, VC) (noc)")
+	pattern := fs.String("pattern", "uniform", "noc traffic pattern: uniform | permutation")
+	out := fs.String("out", "", "write the noc benchmark artifact (JSON) to this path")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	var err error
+	if fs.NArg() > 0 {
+		err = usagef("unexpected argument %q", fs.Arg(0))
+	} else {
+		switch *mode {
+		case "traffic":
+			err = traffic(stdout, *m, *n, *rate, *cycles, *seed)
+		case "faults":
+			err = faults(stdout, *m, *n, *trials, *seed)
+		case "broadcast":
+			err = bcast(stdout, *m, *n)
+		case "election":
+			err = elect(stdout, *m, *n, *seed)
+		case "faultdiam":
+			err = faultDiam(stdout, *m, *n, *trials, *seed)
+		case "wormhole":
+			err = worm(stdout, *m, *n, *rate, *cycles, *seed)
+		case "chaos":
+			err = chaos(stdout, *m, *n, *rate, *cycles, *seed)
+		case "noc":
+			var pat simnet.Pattern
+			pat, err = parsePattern(*pattern)
+			if err == nil {
+				err = nocMode(stdout, nocParams{
+					m: *m, n: *n, rate: *rate, cycles: *cycles, seed: *seed,
+					vcs: *vcs, bufDepth: *bufdepth, pattern: pat, out: *out,
+				})
+			}
+		default:
+			err = usagef("unknown mode %q", *mode)
+		}
+	}
+	if err == nil {
+		return 0
+	}
+	fmt.Fprintln(stderr, "hbsim:", err)
+	if _, ok := err.(*usageError); ok {
+		fs.Usage()
+		return 2
+	}
+	return 1
+}
+
+func parsePattern(s string) (simnet.Pattern, error) {
+	switch s {
+	case "uniform":
+		return simnet.Uniform, nil
+	case "permutation":
+		return simnet.Permutation, nil
+	}
+	return 0, usagef("unknown pattern %q (uniform | permutation)", s)
 }
 
 // elect compares the two leader-election protocols (E-LE).
-func elect(m, n int, seed int64) {
-	hb := core.MustNew(m, n)
+func elect(w io.Writer, m, n int, seed int64) error {
+	hb, err := core.New(m, n)
+	if err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewSource(seed))
 	ids := make([]int64, hb.Order())
 	for v, p := range rng.Perm(hb.Order()) {
 		ids[v] = int64(p)
 	}
 	flood, err := election.FloodMax(hb, ids)
-	fail(err)
-	tree, err := election.TreeElect(hb, ids, hb.Identity())
-	fail(err)
-	if flood.Leader != tree.Leader {
-		fail(fmt.Errorf("protocols disagree: %d vs %d", flood.Leader, tree.Leader))
+	if err != nil {
+		return err
 	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "protocol\trounds\tmessages")
-	fmt.Fprintf(w, "flood-max\t%d\t%d\n", flood.Rounds, flood.Messages)
-	fmt.Fprintf(w, "tree (convergecast+broadcast)\t%d\t%d\n", tree.Rounds, tree.Messages)
-	w.Flush()
-	fmt.Printf("\nelected leader: %s (id %d) on HB(%d,%d), diameter %d\n",
+	tree, err := election.TreeElect(hb, ids, hb.Identity())
+	if err != nil {
+		return err
+	}
+	if flood.Leader != tree.Leader {
+		return fmt.Errorf("protocols disagree: %d vs %d", flood.Leader, tree.Leader)
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "protocol\trounds\tmessages")
+	fmt.Fprintf(tw, "flood-max\t%d\t%d\n", flood.Rounds, flood.Messages)
+	fmt.Fprintf(tw, "tree (convergecast+broadcast)\t%d\t%d\n", tree.Rounds, tree.Messages)
+	tw.Flush()
+	fmt.Fprintf(w, "\nelected leader: %s (id %d) on HB(%d,%d), diameter %d\n",
 		hb.VertexLabel(flood.Leader), ids[flood.Leader], m, n, hb.DiameterFormula())
+	return nil
 }
 
 // faultDiam measures the exact diameter growth under random fault sets
 // of each size up to m+3 (E-FD).
-func faultDiam(m, n, trials int, seed int64) {
-	hb := core.MustNew(m, n)
+func faultDiam(w io.Writer, m, n, trials int, seed int64) error {
+	hb, err := core.New(m, n)
+	if err != nil {
+		return err
+	}
 	if hb.Order() > 4096 {
-		fail(fmt.Errorf("faultdiam needs order <= 4096 (HB(%d,%d) has %d nodes)", m, n, hb.Order()))
+		return fmt.Errorf("faultdiam needs order <= 4096 (HB(%d,%d) has %d nodes)", m, n, hb.Order())
 	}
 	rng := rand.New(rand.NewSource(seed))
 	base := hb.DiameterFormula()
-	fmt.Printf("fault diameter of HB(%d,%d) (fault-free diameter %d), %d random trials per count:\n",
+	fmt.Fprintf(w, "fault diameter of HB(%d,%d) (fault-free diameter %d), %d random trials per count:\n",
 		m, n, base, trials)
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "faults\tworst fault diameter\tgrowth")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "faults\tworst fault diameter\tgrowth")
 	for f := 1; f <= hb.M()+3; f++ {
 		worst := 0
 		for trial := 0; trial < trials; trial++ {
 			fd, err := faultroute.FaultDiameter(hb, rng.Perm(hb.Order())[:f])
-			fail(err)
+			if err != nil {
+				return err
+			}
 			if fd > worst {
 				worst = fd
 			}
 		}
-		fmt.Fprintf(w, "%d\t%d\t+%d\n", f, worst, worst-base)
+		fmt.Fprintf(tw, "%d\t%d\t+%d\n", f, worst, worst-base)
 	}
-	w.Flush()
+	tw.Flush()
+	return nil
 }
 
 // worm runs the flit-level wormhole simulator (E-W1): single virtual
 // channel versus the dateline discipline at the same load.
-func worm(m, n int, rate float64, cycles int, seed int64) {
-	hb := core.MustNew(m, n)
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "policy\tVCs\tdeadlocked\tinjected\tdelivered\tavg latency")
-	runOne := func(name string, vcs int, policy wormhole.VCPolicy) {
+func worm(w io.Writer, m, n int, rate float64, cycles int, seed int64) error {
+	hb, err := core.New(m, n)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tVCs\tdeadlocked\tinjected\tdelivered\tavg latency")
+	runOne := func(name string, vcs int, policy wormhole.VCPolicy) error {
 		res, err := wormhole.Run(hb, wormhole.Config{
 			Cycles: cycles, Rate: rate, PacketLen: 4, BufDepth: 1, VCs: vcs,
 			Policy: policy, Route: hb.Route, Seed: seed,
 		})
-		fail(err)
+		if err != nil {
+			return err
+		}
 		dead := "no"
 		if res.Deadlocked {
 			dead = fmt.Sprintf("yes (cycle %d)", res.DeadCycle)
 		}
-		fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%d\t%.2f\n",
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%.2f\n",
 			name, vcs, dead, res.Injected, res.Delivered, res.AvgLatency)
+		return nil
 	}
-	runOne("single VC", 1, wormhole.SingleVC)
-	runOne("dateline", 2, wormhole.HBDateline(hb))
-	w.Flush()
-	fmt.Printf("\nwormhole switching on HB(%d,%d): 4-flit worms, 1-flit buffers per VC\n", m, n)
+	if err := runOne("single VC", 1, wormhole.SingleVC); err != nil {
+		return err
+	}
+	if err := runOne("dateline", 2, wormhole.HBDateline(hb)); err != nil {
+		return err
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\nwormhole switching on HB(%d,%d): 4-flit worms, 1-flit buffers per VC\n", m, n)
+	return nil
 }
 
 // chaos runs the dynamic fault-injection experiment (E-CH): seeded
@@ -152,8 +238,11 @@ func worm(m, n int, rate float64, cycles int, seed int64) {
 // losses (destination down, packet queued at the failing node) — and no
 // reroute may fail while the live fault count is within the guarantee.
 // Any violation exits nonzero, so CI can gate on this mode directly.
-func chaos(m, n int, rate float64, cycles int, seed int64) {
-	hb := core.MustNew(m, n)
+func chaos(w io.Writer, m, n int, rate float64, cycles int, seed int64) error {
+	hb, err := core.New(m, n)
+	if err != nil {
+		return err
+	}
 	inject := cycles / 2 // second half drains
 	bound := hb.M() + 3
 
@@ -161,53 +250,70 @@ func chaos(m, n int, rate float64, cycles int, seed int64) {
 		Order: hb.Order(), Cycles: inject, MaxLive: bound,
 		Rate: 0.1, MinDwell: 20, MaxDwell: 80, Seed: seed,
 	})
-	fail(err)
+	if err != nil {
+		return err
+	}
 	// Adversarial: repeatedly fail m+3 of one node's m+4 neighbors — the
 	// worst placement that still respects the guarantee.
 	pivot := hb.Order() / 2
 	adv, err := faultsim.AdversarialAdjacent(hb, pivot, bound, 5, 3, 60)
-	fail(err)
+	if err != nil {
+		return err
+	}
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "schedule\tmax live\tinjected\tdelivered\tdropped\tskipped\treroutes\tin flight\tviolations\tdelivered frac")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "schedule\tmax live\tinjected\tdelivered\tdropped\tskipped\treroutes\tin flight\tviolations\tdelivered frac")
 	violations, stuck := 0, 0
-	runOne := func(name string, sch faultsim.Schedule) {
+	runOne := func(name string, sch faultsim.Schedule) error {
 		r, err := faultroute.New(hb, nil)
-		fail(err)
+		if err != nil {
+			return err
+		}
 		rr := &simnet.FaultRerouter{R: r}
 		res, err := simnet.Run(simnet.Routed{Graph: hb, Route: hb.Route}, simnet.Config{
 			Cycles: cycles, InjectCycles: inject, Rate: rate,
 			Pattern: simnet.Uniform, Seed: seed, Schedule: sch, Rerouter: rr,
 		})
-		fail(err)
+		if err != nil {
+			return err
+		}
 		deliverable := res.Injected - res.Dropped
 		frac := 1.0
 		if deliverable > 0 {
 			frac = float64(res.Delivered) / float64(deliverable)
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.4f\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.4f\n",
 			name, sch.MaxLive(hb.Order()), res.Injected, res.Delivered, res.Dropped,
 			res.Skipped, res.Reroutes, res.InFlight, rr.Violations, frac)
 		violations += rr.Violations
 		stuck += res.InFlight
+		return nil
 	}
-	runOne("random churn", churn)
-	runOne("adversarial min-cut", adv)
-	w.Flush()
-	fmt.Printf("\ndynamic fault injection on HB(%d,%d), guarantee bound m+3 = %d live faults\n", m, n, bound)
+	if err := runOne("random churn", churn); err != nil {
+		return err
+	}
+	if err := runOne("adversarial min-cut", adv); err != nil {
+		return err
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\ndynamic fault injection on HB(%d,%d), guarantee bound m+3 = %d live faults\n", m, n, bound)
 	if violations > 0 {
-		fail(fmt.Errorf("%d reroute failures within the m+3 guarantee (Remark 10 violated)", violations))
+		return fmt.Errorf("%d reroute failures within the m+3 guarantee (Remark 10 violated)", violations)
 	}
 	if stuck > 0 {
-		fail(fmt.Errorf("%d packets undelivered after the drain window", stuck))
+		return fmt.Errorf("%d packets undelivered after the drain window", stuck)
 	}
-	fmt.Println("gate: every deliverable packet arrived; zero reroute failures within the guarantee")
+	fmt.Fprintln(w, "gate: every deliverable packet arrived; zero reroute failures within the guarantee")
+	return nil
 }
 
 // traffic compares HB(m,n) with HD(m',n') and the classical networks at
 // (approximately) matched node counts under two traffic patterns.
-func traffic(m, n int, rate float64, cycles int, seed int64) {
-	hb := core.MustNew(m, n)
+func traffic(w io.Writer, m, n int, rate float64, cycles int, seed int64) error {
+	hb, err := core.New(m, n)
+	if err != nil {
+		return err
+	}
 	hd := hyperdebruijn.MustNew(m, n)
 	cube := hypercube.MustNew(m + n)
 	bf := butterfly.MustNew(m + n)
@@ -223,37 +329,45 @@ func traffic(m, n int, rate float64, cycles int, seed int64) {
 		{fmt.Sprintf("B(%d)    [%d nodes]", m+n, bf.Order()), simnet.Routed{Graph: bf, Route: bf.Route}},
 	}
 	adaptive := simnet.MinimalAdaptive(hb, hb.Distance)
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "pattern\tnetwork\tinjected\tdelivered\tavg latency\tmax latency\tavg hops\tthroughput\tmax queue")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "pattern\tnetwork\tinjected\tdelivered\tavg latency\tmax latency\tavg hops\tthroughput\tmax queue")
 	for _, pat := range []simnet.Pattern{simnet.Uniform, simnet.Permutation} {
 		for _, e := range entries {
 			res, err := simnet.Run(e.top, simnet.Config{
 				Cycles: cycles, Rate: rate, Pattern: pat, Seed: seed,
 			})
-			fail(err)
-			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.2f\t%d\t%.2f\t%.3f\t%d\n",
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.2f\t%d\t%.2f\t%.3f\t%d\n",
 				pat, e.name, res.Injected, res.Delivered, res.AvgLatency,
 				res.MaxLatency, res.AvgHops, res.Throughput, res.MaxQueue)
 		}
 		res, err := simnet.RunAdaptive(adaptive, simnet.Config{
 			Cycles: cycles, Rate: rate, Pattern: pat, Seed: seed,
 		})
-		fail(err)
-		fmt.Fprintf(w, "%s\tHB(%d,%d) adaptive\t%d\t%d\t%.2f\t%d\t%.2f\t%.3f\t%d\n",
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\tHB(%d,%d) adaptive\t%d\t%d\t%.2f\t%d\t%.2f\t%.3f\t%d\n",
 			pat, m, n, res.Injected, res.Delivered, res.AvgLatency,
 			res.MaxLatency, res.AvgHops, res.Throughput, res.MaxQueue)
 	}
-	w.Flush()
+	tw.Flush()
+	return nil
 }
 
 // faults sweeps the fault count from 1 to m+4: within the guarantee
 // (<= m+3) the delivery rate must be 1.0; at m+4 targeted placements can
 // disconnect the network.
-func faults(m, n, trials int, seed int64) {
-	hb := core.MustNew(m, n)
+func faults(w io.Writer, m, n, trials int, seed int64) error {
+	hb, err := core.New(m, n)
+	if err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewSource(seed))
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "faults\ttrials\tdelivered\tconnected\tavg stretch\tstrategy optimal/greedy/disjoint/BFS")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "faults\ttrials\tdelivered\tconnected\tavg stretch\tstrategy optimal/greedy/disjoint/BFS")
 	for f := 1; f <= hb.M()+4; f++ {
 		delivered, connected := 0, 0
 		var stretchSum float64
@@ -273,9 +387,10 @@ func faults(m, n, trials int, seed int64) {
 					faults = append(faults, x)
 				}
 			}
-			var err error
 			r, err = faultroute.New(hb, faults)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			if r.Connected() {
 				connected++
 			}
@@ -298,33 +413,33 @@ func faults(m, n, trials int, seed int64) {
 		if f <= hb.M()+3 && delivered != trials {
 			note = "  <- GUARANTEE VIOLATED"
 		}
-		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.3f\t%d/%d/%d/%d%s\n",
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.3f\t%d/%d/%d/%d%s\n",
 			f, trials, delivered, connected, avgStretch, stats[0], stats[1], stats[2], stats[3], note)
 	}
-	w.Flush()
-	fmt.Printf("\nguarantee bound: m+3 = %d faults (Theorem 5 / Remark 10)\n", hb.M()+3)
+	tw.Flush()
+	fmt.Fprintf(w, "\nguarantee bound: m+3 = %d faults (Theorem 5 / Remark 10)\n", hb.M()+3)
+	return nil
 }
 
-func bcast(m, n int) {
-	hb := core.MustNew(m, n)
+func bcast(w io.Writer, m, n int) error {
+	hb, err := core.New(m, n)
+	if err != nil {
+		return err
+	}
 	flood := broadcast.Flood(hb, hb.Identity())
 	tree := broadcast.SpanningTree(hb, hb.Identity())
 	two, _, err := broadcast.TwoPhase(hb, hb.Identity())
-	fail(err)
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "algorithm\trounds\tmessages\treached")
-	fmt.Fprintf(w, "flooding\t%d\t%d\t%d\n", flood.Rounds, flood.Messages, flood.Reached)
-	fmt.Fprintf(w, "two-phase (structured)\t%d\t%d\t%d\n", two.Rounds, two.Messages, two.Reached)
-	fmt.Fprintf(w, "spanning tree\t%d\t%d\t%d\n", tree.Rounds, tree.Messages, tree.Reached)
-	w.Flush()
-	fmt.Printf("\nlower bound (diameter of HB(%d,%d)): %d rounds\n", m, n, hb.DiameterFormula())
-}
-
-func fail(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hbsim:", err)
-		os.Exit(1)
+		return err
 	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\trounds\tmessages\treached")
+	fmt.Fprintf(tw, "flooding\t%d\t%d\t%d\n", flood.Rounds, flood.Messages, flood.Reached)
+	fmt.Fprintf(tw, "two-phase (structured)\t%d\t%d\t%d\n", two.Rounds, two.Messages, two.Reached)
+	fmt.Fprintf(tw, "spanning tree\t%d\t%d\t%d\n", tree.Rounds, tree.Messages, tree.Reached)
+	tw.Flush()
+	fmt.Fprintf(w, "\nlower bound (diameter of HB(%d,%d)): %d rounds\n", m, n, hb.DiameterFormula())
+	return nil
 }
 
 func max(a, b int) int {

@@ -1,0 +1,128 @@
+package collectives
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Msg is one point-to-point transfer of a collective replay plan: the
+// NoC engine injects it as a worm from Src to Dst once every message in
+// Deps has been delivered. A plan is a DAG of messages; replaying it
+// under saturating background load measures how the collective's
+// critical path stretches under contention (experiment E-NC).
+type Msg struct {
+	Src  int     `json:"src"`
+	Dst  int     `json:"dst"`
+	Deps []int32 `json:"deps,omitempty"` // indices into the plan
+}
+
+// ValidateMsgs checks a plan against a network of the given order:
+// endpoints in range and distinct, dependency indices in range and
+// strictly smaller than the dependent (plans are emitted in
+// topological order, which also rules out cycles).
+func ValidateMsgs(msgs []Msg, order int) error {
+	for i, m := range msgs {
+		if m.Src < 0 || m.Src >= order || m.Dst < 0 || m.Dst >= order {
+			return fmt.Errorf("collectives: msg %d endpoints %d->%d outside [0,%d)", i, m.Src, m.Dst, order)
+		}
+		if m.Src == m.Dst {
+			return fmt.Errorf("collectives: msg %d is a self-send at %d", i, m.Src)
+		}
+		for _, d := range m.Deps {
+			if d < 0 || int(d) >= i {
+				return fmt.Errorf("collectives: msg %d depends on %d (want 0..%d)", i, d, i-1)
+			}
+		}
+	}
+	return nil
+}
+
+// BroadcastMsgs returns the message plan of Broadcast(g, root): one
+// message per BFS tree edge, each depending on the message that
+// delivered the payload to its source.
+func BroadcastMsgs(g graph.Graph, root int) ([]Msg, error) {
+	parent, order, _, err := bfsTree(g, root)
+	if err != nil {
+		return nil, err
+	}
+	in := make([]int32, g.Order()) // node -> index of the msg delivering to it
+	for i := range in {
+		in[i] = -1
+	}
+	msgs := make([]Msg, 0, len(order)-1)
+	for _, v32 := range order[1:] {
+		v := int(v32)
+		p := int(parent[v])
+		var deps []int32
+		if in[p] >= 0 {
+			deps = []int32{in[p]}
+		}
+		in[v] = int32(len(msgs))
+		msgs = append(msgs, Msg{Src: p, Dst: v, Deps: deps})
+	}
+	return msgs, nil
+}
+
+// AllReduceMsgs returns the message plan of AllReduceHB: phase 1
+// convergecasts each sub-butterfly onto its representative along the
+// butterfly BFS tree, phase 2 recursive-doubles the representatives
+// over the m hypercube dimensions, and phase 3 broadcasts the result
+// back down each sub-butterfly. Each message depends on everything its
+// source had to receive first, so the plan's critical path equals the
+// collective's round count.
+func AllReduceMsgs(hb *core.HyperButterfly) ([]Msg, error) {
+	bf := hb.Butterfly()
+	parent, order, _, err := bfsTree(bf, bf.Identity())
+	if err != nil {
+		return nil, err
+	}
+	cubeSize := 1 << uint(hb.M())
+	bRoot := bf.Identity()
+	into := make([][]int32, hb.Order()) // msgs delivered to each node so far
+	var msgs []Msg
+
+	dep := func(src int) []int32 {
+		if len(into[src]) == 0 {
+			return nil
+		}
+		return append([]int32(nil), into[src]...)
+	}
+
+	// Phase 1: convergecast, reverse BFS order per sub-butterfly.
+	for h := 0; h < cubeSize; h++ {
+		for i := len(order) - 1; i > 0; i-- {
+			v := int(order[i])
+			src, dst := hb.Encode(h, v), hb.Encode(h, int(parent[v]))
+			id := int32(len(msgs))
+			msgs = append(msgs, Msg{Src: src, Dst: dst, Deps: dep(src)})
+			into[dst] = append(into[dst], id)
+		}
+	}
+	// Phase 2: recursive doubling between representatives.
+	for i := 0; i < hb.M(); i++ {
+		bit := 1 << uint(i)
+		ids := make([]int32, cubeSize)
+		for h := 0; h < cubeSize; h++ {
+			src, dst := hb.Encode(h, bRoot), hb.Encode(h^bit, bRoot)
+			ids[h] = int32(len(msgs))
+			msgs = append(msgs, Msg{Src: src, Dst: dst, Deps: dep(src)})
+		}
+		for h := 0; h < cubeSize; h++ {
+			rep := hb.Encode(h, bRoot)
+			into[rep] = append(into[rep], ids[h^bit])
+		}
+	}
+	// Phase 3: broadcast back, BFS order per sub-butterfly.
+	for h := 0; h < cubeSize; h++ {
+		for _, v32 := range order[1:] {
+			v := int(v32)
+			src, dst := hb.Encode(h, int(parent[v])), hb.Encode(h, v)
+			id := int32(len(msgs))
+			msgs = append(msgs, Msg{Src: src, Dst: dst, Deps: dep(src)})
+			into[dst] = append(into[dst], id)
+		}
+	}
+	return msgs, nil
+}

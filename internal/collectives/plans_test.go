@@ -1,0 +1,95 @@
+package collectives
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestValidateMsgs(t *testing.T) {
+	good := []Msg{
+		{Src: 0, Dst: 1},
+		{Src: 1, Dst: 2, Deps: []int32{0}},
+	}
+	if err := ValidateMsgs(good, 4); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+	bad := [][]Msg{
+		{{Src: -1, Dst: 1}},
+		{{Src: 0, Dst: 4}},
+		{{Src: 2, Dst: 2}},
+		{{Src: 0, Dst: 1, Deps: []int32{0}}},                   // self-dependency
+		{{Src: 0, Dst: 1}, {Src: 1, Dst: 2, Deps: []int32{5}}}, // forward dep
+	}
+	for i, plan := range bad {
+		if err := ValidateMsgs(plan, 4); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestBroadcastMsgs(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	msgs, err := BroadcastMsgs(hb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != hb.Order()-1 {
+		t.Fatalf("%d messages, want one per non-root node (%d)", len(msgs), hb.Order()-1)
+	}
+	if err := ValidateMsgs(msgs, hb.Order()); err != nil {
+		t.Fatal(err)
+	}
+	// Every node receives exactly once, and each message's source has
+	// already received (or is the root).
+	got := make([]bool, hb.Order())
+	got[0] = true
+	for i, m := range msgs {
+		if !got[m.Src] {
+			t.Fatalf("msg %d sent from %d before it received the payload", i, m.Src)
+		}
+		if got[m.Dst] {
+			t.Fatalf("msg %d delivers twice to %d", i, m.Dst)
+		}
+		got[m.Dst] = true
+	}
+	for v, ok := range got {
+		if !ok {
+			t.Fatalf("node %d never reached", v)
+		}
+	}
+}
+
+func TestAllReduceMsgs(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	msgs, err := AllReduceMsgs(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMsgs(msgs, hb.Order()); err != nil {
+		t.Fatal(err)
+	}
+	// Shape: per sub-butterfly a convergecast and a broadcast (order-1
+	// messages each), plus m exchanges per cube dimension.
+	bOrder := hb.Butterfly().Order()
+	cube := 1 << uint(hb.M())
+	want := cube*(bOrder-1)*2 + hb.M()*cube
+	if len(msgs) != want {
+		t.Fatalf("%d messages, want %d", len(msgs), want)
+	}
+	// Every message must ride an actual edge of HB(m,n).
+	d := graph.Build(hb)
+	for i, m := range msgs {
+		found := false
+		for _, w := range d.Neighbors(m.Src) {
+			if int(w) == m.Dst {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("msg %d uses non-edge %d->%d", i, m.Src, m.Dst)
+		}
+	}
+}

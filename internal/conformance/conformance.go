@@ -23,6 +23,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hypercube"
 	"repro/internal/hyperdebruijn"
+	"repro/internal/noc"
 )
 
 // Target is one network instance under test together with the analytic
@@ -84,6 +85,14 @@ type Target struct {
 	ImplicitDistance      func(u, v int) int
 	ImplicitRoute         func(u, v int) []int
 	ImplicitDisjointPaths func(u, v int) ([][]int, error)
+
+	// Escape, if non-nil, is the deadlock-free escape discipline the NoC
+	// engine uses on this topology (noc.NewHBEscape for HB). Nil targets
+	// fall back to the generic BFS-tree escape. The escape-acyclic
+	// invariant holds either to Duato's condition: every escape walk
+	// climbs strictly in stage, so the channel-dependency graph over
+	// (link, class) escape channels is acyclic.
+	Escape noc.Escape
 
 	// Seed drives the deterministic sampling of pairwise checks.
 	Seed int64
@@ -147,13 +156,13 @@ func Butterfly(n int) Target {
 func DeBruijn(n int) Target {
 	g := debruijn.MustNew(n)
 	return Target{
-		Name:         fmt.Sprintf("D(%d)", n),
-		Graph:        g,
-		Order:        1 << uint(n),
-		Edges:        -1,
-		MinDegree:    2,
-		MaxDegree:    4,
-		Regular:      false,
+		Name:             fmt.Sprintf("D(%d)", n),
+		Graph:            g,
+		Order:            1 << uint(n),
+		Edges:            -1,
+		MinDegree:        2,
+		MaxDegree:        4,
+		Regular:          false,
 		Diameter:         g.DiameterFormula(),
 		Connectivity:     g.ConnectivityFormula(),
 		EdgeConnectivity: 2,
@@ -168,13 +177,13 @@ func DeBruijn(n int) Target {
 func HyperDeBruijn(m, n int) Target {
 	hd := hyperdebruijn.MustNew(m, n)
 	return Target{
-		Name:         fmt.Sprintf("HD(%d,%d)", m, n),
-		Graph:        hd,
-		Order:        hd.Order(),
-		Edges:        -1,
-		MinDegree:    hd.MinDegree(),
-		MaxDegree:    hd.MaxDegree(),
-		Regular:      false,
+		Name:             fmt.Sprintf("HD(%d,%d)", m, n),
+		Graph:            hd,
+		Order:            hd.Order(),
+		Edges:            -1,
+		MinDegree:        hd.MinDegree(),
+		MaxDegree:        hd.MaxDegree(),
+		Regular:          false,
 		Diameter:         hd.DiameterFormula(),
 		Connectivity:     hd.ConnectivityFormula(),
 		EdgeConnectivity: hd.MinDegree(),
@@ -234,13 +243,14 @@ func HyperButterflyInstance(hb *core.HyperButterfly) Target {
 			}
 			return fr.Route(u, v)
 		},
-		MaxFaults: hb.M() + 3,
-		Implicit:  imp,
+		MaxFaults:        hb.M() + 3,
+		Implicit:         imp,
 		ImplicitDistance: imp.Distance,
 		ImplicitRoute: func(u, v int) []int {
 			return imp.AppendRoute(u, v, make([]core.Node, 0, imp.Distance(u, v)+1))
 		},
 		ImplicitDisjointPaths: imp.DisjointPaths,
+		Escape:                noc.NewHBEscape(hb),
 		Seed:                  int64(503*m + 17*n),
 	}
 }

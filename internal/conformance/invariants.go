@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/noc"
 )
 
 // Env carries per-target shared state across invariant checks: the
@@ -447,6 +448,121 @@ func DefaultInvariants() []Invariant {
 					if err := graph.VerifyDisjointPaths(t.Graph, u, v, paths); err != nil {
 						return fmt.Errorf("implicit DisjointPaths(%d,%d): %w", u, v, err)
 					}
+				}
+				return nil
+			},
+		},
+		{
+			// Duato's deadlock-freedom condition for the NoC escape
+			// channel: every escape walk reaches its destination climbing
+			// strictly in stage, so the channel-dependency graph over
+			// (link, class) escape channels has no cycle. Targets without
+			// an analytic escape (everything but HB) are held to the
+			// generic BFS-tree discipline the engine falls back to.
+			Name:    "escape-acyclic",
+			Applies: always,
+			Check: func(t *Target, env *Env) error {
+				esc := t.Escape
+				d := env.Dense()
+				if esc == nil {
+					var err error
+					esc, err = noc.NewTreeEscape(d)
+					if err != nil {
+						return err
+					}
+				}
+				n := d.Order()
+				offsets := make([]int64, n+1)
+				for v := 0; v < n; v++ {
+					offsets[v+1] = offsets[v] + int64(d.Degree(v))
+				}
+				edgeOf := func(u, w int) (int64, error) {
+					for k, x := range d.Neighbors(u) {
+						if int(x) == w {
+							return offsets[u] + int64(k), nil
+						}
+					}
+					return 0, fmt.Errorf("escape walk uses non-edge %d-%d", u, w)
+				}
+				var pairs [][2]int
+				if n*n <= 4096 {
+					for u := 0; u < n; u++ {
+						for v := 0; v < n; v++ {
+							if u != v {
+								pairs = append(pairs, [2]int{u, v})
+							}
+						}
+					}
+				} else {
+					rng := env.rng(8)
+					for len(pairs) < 4096 {
+						u, v := distinctPair(rng, n)
+						pairs = append(pairs, [2]int{u, v})
+					}
+				}
+				deps := make(map[[2]int64]bool)
+				var path []int32
+				var cls []int8
+				for _, p := range pairs {
+					u, v := p[0], p[1]
+					path, cls = esc.AppendHops(u, v, path[:0], cls[:0])
+					if len(path) == 0 || int(path[len(path)-1]) != v {
+						return fmt.Errorf("escape %d->%d ends at %v", u, v, path)
+					}
+					if len(path) > esc.MaxLen() {
+						return fmt.Errorf("escape %d->%d: %d hops exceeds MaxLen %d", u, v, len(path), esc.MaxLen())
+					}
+					prev, prevStage := u, -1
+					var prevCh int64 = -1
+					for i, x := range path {
+						if cls[i] < 0 || int(cls[i]) >= esc.Classes() {
+							return fmt.Errorf("escape %d->%d hop %d: class %d of %d", u, v, i, cls[i], esc.Classes())
+						}
+						stage := esc.Stage(prev, int(x), cls[i])
+						if stage <= prevStage {
+							return fmt.Errorf("escape %d->%d hop %d: stage %d after %d — not weight-ordered", u, v, i, stage, prevStage)
+						}
+						edge, err := edgeOf(prev, int(x))
+						if err != nil {
+							return err
+						}
+						ch := edge*int64(esc.Classes()) + int64(cls[i])
+						if prevCh >= 0 {
+							deps[[2]int64{prevCh, ch}] = true
+						}
+						prev, prevStage, prevCh = int(x), stage, ch
+					}
+				}
+				// Kahn's algorithm over the recorded dependencies.
+				out := make(map[int64][]int64)
+				indeg := make(map[int64]int)
+				for e := range deps {
+					out[e[0]] = append(out[e[0]], e[1])
+					if _, ok := indeg[e[0]]; !ok {
+						indeg[e[0]] = 0
+					}
+					indeg[e[1]]++
+				}
+				queue := make([]int64, 0, len(indeg))
+				for ch, dg := range indeg {
+					if dg == 0 {
+						queue = append(queue, ch)
+					}
+				}
+				seen := 0
+				for len(queue) > 0 {
+					ch := queue[len(queue)-1]
+					queue = queue[:len(queue)-1]
+					seen++
+					for _, nx := range out[ch] {
+						indeg[nx]--
+						if indeg[nx] == 0 {
+							queue = append(queue, nx)
+						}
+					}
+				}
+				if seen != len(indeg) {
+					return fmt.Errorf("escape channel-dependency graph has a cycle: %d of %d channels sorted", seen, len(indeg))
 				}
 				return nil
 			},

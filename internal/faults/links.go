@@ -1,0 +1,125 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// LinkEvent fails or recovers one undirected link at the start of one
+// cycle. The NoC engine applies it to both directed channels of the
+// edge.
+type LinkEvent struct {
+	Cycle int  `json:"cycle"`
+	U     int  `json:"u"`
+	V     int  `json:"v"`
+	Fail  bool `json:"fail"`
+}
+
+// LinkSchedule is a time-ordered list of link events; generators return
+// sorted schedules, hand-built ones should call Sort before use.
+type LinkSchedule []LinkEvent
+
+// Sort orders the schedule by cycle, stable within a cycle.
+func (s LinkSchedule) Sort() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Cycle < s[j].Cycle })
+}
+
+// Validate checks every event names two distinct nodes in [0,order)
+// and a non-negative cycle. As with node schedules, events beyond the
+// run length are legal and simply never fire.
+func (s LinkSchedule) Validate(order int) error {
+	for i, e := range s {
+		if e.U < 0 || e.U >= order || e.V < 0 || e.V >= order {
+			return fmt.Errorf("faults: link event %d names edge %d-%d outside [0,%d)", i, e.U, e.V, order)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("faults: link event %d is a self-loop at %d", i, e.U)
+		}
+		if e.Cycle < 0 {
+			return fmt.Errorf("faults: link event %d has negative cycle %d", i, e.Cycle)
+		}
+	}
+	return nil
+}
+
+// MaxLive returns the peak number of simultaneously failed links.
+func (s LinkSchedule) MaxLive() int {
+	type key struct{ u, v int }
+	down := make(map[key]bool)
+	sorted := append(LinkSchedule(nil), s...)
+	sorted.Sort()
+	peak := 0
+	for _, e := range sorted {
+		k := key{e.U, e.V}
+		if e.U > e.V {
+			k = key{e.V, e.U}
+		}
+		switch {
+		case e.Fail && !down[k]:
+			down[k] = true
+		case !e.Fail && down[k]:
+			delete(down, k)
+		}
+		if len(down) > peak {
+			peak = len(down)
+		}
+	}
+	return peak
+}
+
+// RandomLinkChurn generates a reproducible schedule of transient link
+// failures on g: each failure picks a uniform edge (a uniform node and
+// a uniform incident link), dwells for a uniform number of cycles in
+// [MinDwell, MaxDwell], then recovers. The ChurnConfig fields Order,
+// Cycles, MaxLive, Rate, MinDwell, MaxDwell and Seed keep their
+// RandomChurn meaning; Protect is ignored (links have no protected
+// set). Order must match g.Order().
+func RandomLinkChurn(g graph.Graph, cfg ChurnConfig) (LinkSchedule, error) {
+	if cfg.Order != g.Order() {
+		return nil, fmt.Errorf("faults: link churn order %d != graph order %d", cfg.Order, g.Order())
+	}
+	if cfg.Cycles <= 0 || cfg.MaxLive < 1 {
+		return nil, fmt.Errorf("faults: link churn needs Cycles > 0 and MaxLive >= 1 (got %d, %d)", cfg.Cycles, cfg.MaxLive)
+	}
+	if cfg.Rate < 0 || cfg.Rate > 1 {
+		return nil, fmt.Errorf("faults: link churn rate %v outside [0,1]", cfg.Rate)
+	}
+	minD, maxD := cfg.MinDwell, cfg.MaxDwell
+	if minD <= 0 {
+		minD = 1
+	}
+	if maxD < minD {
+		maxD = minD
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var s LinkSchedule
+	recoverAt := make([]int, 0, cfg.MaxLive) // cycles at which live failures end
+	var buf []int
+	for c := 0; c < cfg.Cycles; c++ {
+		live := recoverAt[:0]
+		for _, r := range recoverAt {
+			if r > c {
+				live = append(live, r)
+			}
+		}
+		recoverAt = live
+		if len(recoverAt) >= cfg.MaxLive || rng.Float64() >= cfg.Rate {
+			continue
+		}
+		u := rng.Intn(cfg.Order)
+		buf = g.AppendNeighbors(u, buf[:0])
+		if len(buf) == 0 {
+			continue
+		}
+		v := buf[rng.Intn(len(buf))]
+		dwell := minD + rng.Intn(maxD-minD+1)
+		s = append(s, LinkEvent{Cycle: c, U: u, V: v, Fail: true})
+		s = append(s, LinkEvent{Cycle: c + dwell, U: u, V: v, Fail: false})
+		recoverAt = append(recoverAt, c+dwell)
+	}
+	s.Sort()
+	return s, nil
+}

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestLinkScheduleValidate(t *testing.T) {
+	good := LinkSchedule{{Cycle: 0, U: 0, V: 1, Fail: true}, {Cycle: 5, U: 0, V: 1}}
+	if err := good.Validate(8); err != nil {
+		t.Fatalf("good schedule rejected: %v", err)
+	}
+	bad := []LinkSchedule{
+		{{Cycle: 0, U: -1, V: 1, Fail: true}},
+		{{Cycle: 0, U: 0, V: 8, Fail: true}},
+		{{Cycle: 0, U: 3, V: 3, Fail: true}},
+		{{Cycle: -1, U: 0, V: 1, Fail: true}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(8); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+func TestLinkScheduleSortAndMaxLive(t *testing.T) {
+	s := LinkSchedule{
+		{Cycle: 9, U: 0, V: 1, Fail: false},
+		{Cycle: 2, U: 0, V: 1, Fail: true},
+		{Cycle: 4, U: 2, V: 3, Fail: true},
+		{Cycle: 6, U: 2, V: 3, Fail: false},
+	}
+	s.Sort()
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Cycle > s[i].Cycle {
+			t.Fatalf("not sorted at %d: %+v", i, s)
+		}
+	}
+	// Both links are down during cycles [4,6); (1,0) mirrors (0,1).
+	if got := s.MaxLive(); got != 2 {
+		t.Fatalf("MaxLive = %d, want 2", got)
+	}
+	mirror := LinkSchedule{
+		{Cycle: 0, U: 0, V: 1, Fail: true},
+		{Cycle: 1, U: 1, V: 0, Fail: true}, // same undirected link
+		{Cycle: 2, U: 1, V: 0, Fail: false},
+	}
+	if got := mirror.MaxLive(); got != 1 {
+		t.Fatalf("mirrored link MaxLive = %d, want 1", got)
+	}
+}
+
+func TestRandomLinkChurn(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	cfg := ChurnConfig{
+		Order: hb.Order(), Cycles: 600, MaxLive: 3, Rate: 0.1,
+		MinDwell: 10, MaxDwell: 40, Seed: 7,
+	}
+	s, err := RandomLinkChurn(hb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) == 0 {
+		t.Fatal("empty schedule at rate 0.1")
+	}
+	if err := s.Validate(hb.Order()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxLive(); got > cfg.MaxLive {
+		t.Fatalf("MaxLive %d exceeds cap %d", got, cfg.MaxLive)
+	}
+	// Every failed edge must exist in the graph.
+	d := graph.Build(hb)
+	for _, e := range s {
+		found := false
+		for _, w := range d.Neighbors(e.U) {
+			if int(w) == e.V {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("event names non-edge %d-%d", e.U, e.V)
+		}
+	}
+	// Same seed, same schedule; different seed, different schedule.
+	again, err := RandomLinkChurn(hb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, again) {
+		t.Fatal("schedule not reproducible for a fixed seed")
+	}
+	cfg.Seed = 8
+	other, err := RandomLinkChurn(hb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(s, other) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestRandomLinkChurnRejects(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	bad := []ChurnConfig{
+		{Order: 5, Cycles: 100, MaxLive: 1, Rate: 0.1},          // order mismatch
+		{Order: hb.Order(), Cycles: 0, MaxLive: 1, Rate: 0.1},   // no cycles
+		{Order: hb.Order(), Cycles: 100, MaxLive: 0, Rate: 0.1}, // no budget
+		{Order: hb.Order(), Cycles: 100, MaxLive: 1, Rate: 1.5}, // bad rate
+	}
+	for i, cfg := range bad {
+		if _, err := RandomLinkChurn(hb, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wormhole"
+)
+
+// Benchmarks for the event-driven NoC engine against the retained
+// cycle-scan wormhole oracle on HB(3,3) at saturating load (E-NC in
+// EXPERIMENTS.md):
+//
+//	go test ./internal/noc -bench . -benchmem
+//
+// The cross-PR artifact BENCH_noc.json — including the engine/oracle
+// flit-events-per-second ratio the acceptance gate reads — is emitted
+// by `hbsim -mode noc`, which re-measures both simulators at run time
+// rather than copying numbers from here.
+
+const benchCycles = 300
+
+func benchEngineCfg(hb *core.HyperButterfly) Config {
+	return Config{
+		Cycles: benchCycles, Rate: 0.5, PacketLen: 4, BufDepth: 2, VCs: 4,
+		MaxRoute: hb.DiameterFormula(), Seed: 42,
+		Route: hb.Route, Policy: wormhole.HBDateline(hb),
+	}
+}
+
+// BenchmarkNoCObliviousHB33 runs the engine on exactly the oracle's
+// workload (dateline policy over the library route) — the direct
+// apples-to-apples row.
+func BenchmarkNoCObliviousHB33(b *testing.B) {
+	hb := core.MustNew(3, 3)
+	e, err := New(hb, benchEngineCfg(hb))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := e.Run() // warm the arenas out of the measurement
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.FlitEvents)*float64(b.N)/b.Elapsed().Seconds(), "flitev/s")
+}
+
+// BenchmarkNoCAdaptiveHB33 adds congestion-aware routing with the
+// escape channel — the configuration the paper-level experiments use.
+func BenchmarkNoCAdaptiveHB33(b *testing.B) {
+	hb := core.MustNew(3, 3)
+	cfg := benchEngineCfg(hb)
+	cfg.Route, cfg.Policy = nil, nil
+	cfg.Adaptive = hbAdaptive(hb)
+	e, err := New(hb, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.FlitEvents)*float64(b.N)/b.Elapsed().Seconds(), "flitev/s")
+}
+
+// BenchmarkWormholeOracleHB33 is the pre-PR baseline: the O(worms)
+// per-cycle scan loop with per-packet allocation.
+func BenchmarkWormholeOracleHB33(b *testing.B) {
+	hb := core.MustNew(3, 3)
+	cfg := wormhole.Config{
+		Cycles: benchCycles, Rate: 0.5, PacketLen: 4, BufDepth: 2, VCs: 4,
+		Seed: 42, Route: hb.Route, Policy: wormhole.HBDateline(hb),
+	}
+	res, err := wormhole.Run(hb, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wormhole.Run(hb, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.FlitEvents)*float64(b.N)/b.Elapsed().Seconds(), "flitev/s")
+}

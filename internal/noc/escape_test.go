@@ -1,0 +1,168 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hyperdebruijn"
+)
+
+// walkEscape runs AppendHops for every ordered pair, validating each
+// walk (edges exist, endpoint reached, length bounded, stages strictly
+// increase) and returning the escape channel-dependency edges as pairs
+// of (edge-id, class) channel keys.
+func walkEscape(t *testing.T, g graph.Graph, esc Escape) map[[2]int64]bool {
+	t.Helper()
+	d := graph.Build(g)
+	n := d.Order()
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + int32(d.Degree(v))
+	}
+	edgeOf := func(u, w int) int64 {
+		row := d.Neighbors(u)
+		for k, x := range row {
+			if int(x) == w {
+				return int64(offsets[u]) + int64(k)
+			}
+		}
+		t.Fatalf("escape walk uses non-edge %d-%d", u, w)
+		return -1
+	}
+	deps := make(map[[2]int64]bool)
+	var path []int32
+	var cls []int8
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			path, cls = esc.AppendHops(u, v, path[:0], cls[:0])
+			if len(path) == 0 || int(path[len(path)-1]) != v {
+				t.Fatalf("escape %d->%d ends at %v", u, v, path)
+			}
+			if len(path) != len(cls) {
+				t.Fatalf("escape %d->%d: %d hops, %d classes", u, v, len(path), len(cls))
+			}
+			if len(path) > esc.MaxLen() {
+				t.Fatalf("escape %d->%d: %d hops exceeds MaxLen %d", u, v, len(path), esc.MaxLen())
+			}
+			prev := u
+			prevStage := -1
+			var prevCh int64 = -1
+			for i, x := range path {
+				if cls[i] < 0 || int(cls[i]) >= esc.Classes() {
+					t.Fatalf("escape %d->%d hop %d: class %d of %d", u, v, i, cls[i], esc.Classes())
+				}
+				stage := esc.Stage(prev, int(x), cls[i])
+				if stage <= prevStage {
+					t.Fatalf("escape %d->%d hop %d: stage %d after %d — not weight-ordered",
+						u, v, i, stage, prevStage)
+				}
+				ch := edgeOf(prev, int(x))*int64(esc.Classes()) + int64(cls[i])
+				if prevCh >= 0 {
+					deps[[2]int64{prevCh, ch}] = true
+				}
+				prev, prevStage, prevCh = int(x), stage, ch
+			}
+		}
+	}
+	return deps
+}
+
+// assertAcyclic topologically sorts the channel-dependency graph and
+// fails if any cycle remains — Duato's condition for deadlock freedom
+// of the escape sub-network.
+func assertAcyclic(t *testing.T, deps map[[2]int64]bool) {
+	t.Helper()
+	out := make(map[int64][]int64)
+	indeg := make(map[int64]int)
+	for e := range deps {
+		out[e[0]] = append(out[e[0]], e[1])
+		if _, ok := indeg[e[0]]; !ok {
+			indeg[e[0]] = 0
+		}
+		indeg[e[1]]++
+	}
+	queue := make([]int64, 0, len(indeg))
+	for ch, dg := range indeg {
+		if dg == 0 {
+			queue = append(queue, ch)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		ch := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, nx := range out[ch] {
+			indeg[nx]--
+			if indeg[nx] == 0 {
+				queue = append(queue, nx)
+			}
+		}
+	}
+	if seen != len(indeg) {
+		t.Fatalf("escape channel-dependency graph has a cycle: %d of %d channels sorted", seen, len(indeg))
+	}
+}
+
+// TestEscapeDependencyAcyclic is the checkable deadlock-freedom
+// argument of the tentpole: for both escape disciplines, every escape
+// walk climbs strictly in stage, and the induced channel-dependency
+// graph over (link, class) escape channels is acyclic.
+func TestEscapeDependencyAcyclic(t *testing.T) {
+	t.Run("HB23", func(t *testing.T) {
+		hb := core.MustNew(2, 3)
+		assertAcyclic(t, walkEscape(t, hb, NewHBEscape(hb)))
+	})
+	t.Run("HB33", func(t *testing.T) {
+		hb := core.MustNew(3, 3)
+		assertAcyclic(t, walkEscape(t, hb, NewHBEscape(hb)))
+	})
+	t.Run("TreeHD33", func(t *testing.T) {
+		hd := hyperdebruijn.MustNew(3, 3)
+		esc, err := NewTreeEscape(hd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertAcyclic(t, walkEscape(t, hd, esc))
+	})
+	t.Run("TreeRing", func(t *testing.T) {
+		esc, err := NewTreeEscape(graph.Ring{N: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertAcyclic(t, walkEscape(t, graph.Ring{N: 9}, esc))
+	})
+}
+
+// TestHBEscapeClasses: the clockwise walk never needs more than the
+// advertised three dateline classes, and cube hops always ride class 0.
+func TestHBEscapeClasses(t *testing.T) {
+	hb := core.MustNew(2, 4)
+	esc := NewHBEscape(hb)
+	var path []int32
+	var cls []int8
+	maxClass := int8(0)
+	for u := 0; u < hb.Order(); u++ {
+		for v := 0; v < hb.Order(); v++ {
+			if u == v {
+				continue
+			}
+			path, cls = esc.AppendHops(u, v, path[:0], cls[:0])
+			for _, c := range cls {
+				if c > maxClass {
+					maxClass = c
+				}
+			}
+		}
+	}
+	if int(maxClass) >= esc.Classes() {
+		t.Fatalf("walks used class %d with only %d classes", maxClass, esc.Classes())
+	}
+	if maxClass < 1 {
+		t.Fatal("no walk ever crossed the dateline — fixture too small to exercise classes")
+	}
+}

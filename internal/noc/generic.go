@@ -1,0 +1,53 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// BFSAdaptive builds an adaptive configuration for an arbitrary
+// connected graph from an all-pairs BFS distance table and the BFS-tree
+// escape: minimal candidates come from the table, route tails descend
+// the distance gradient (lowest-numbered minimal neighbor), and blocked
+// worms escape up-and-down the tree. This is how networks without
+// label-arithmetic routing — hyper-deBruijn in the E-NC comparison —
+// run on the engine. The table costs O(n^2) memory, so this is for
+// benchmark-scale instances; HB(m,n) should use its analytic routing
+// instead (hbAdaptive in the tests, hbsim -mode noc).
+func BFSAdaptive(g graph.Graph) (*AdaptiveConfig, error) {
+	esc, err := NewTreeEscape(g)
+	if err != nil {
+		return nil, err
+	}
+	d := graph.Build(g)
+	n := d.Order()
+	dist := make([]int32, n*n)
+	for v := 0; v < n; v++ {
+		copy(dist[v*n:(v+1)*n], graph.BFS(d, v, nil))
+	}
+	appendRoute := func(u, v int, buf []int) []int {
+		buf = append(buf, u)
+		for u != v {
+			row := d.Neighbors(u)
+			next := -1
+			for _, w := range row {
+				if dist[int(w)*n+v] == dist[u*n+v]-1 {
+					next = int(w)
+					break
+				}
+			}
+			if next < 0 {
+				panic(fmt.Sprintf("noc: no descent from %d toward %d", u, v))
+			}
+			buf = append(buf, next)
+			u = next
+		}
+		return buf
+	}
+	return &AdaptiveConfig{
+		Distance:    func(u, v int) int { return int(dist[u*n+v]) },
+		AppendRoute: appendRoute,
+		Escape:      esc,
+	}, nil
+}

@@ -115,7 +115,7 @@ func RunAdaptive(a Adaptive, cfg Config) (Result, error) {
 			if !cfg.injecting(cycle) || !usable(v) || rng.Float64() >= cfg.Rate {
 				continue
 			}
-			dst, ok := drawDest(cfg.Pattern, rng, perm, n, v, usable)
+			dst, ok := DrawDest(cfg.Pattern, rng, perm, n, v, usable)
 			if !ok {
 				res.Skipped++
 				continue
@@ -197,13 +197,13 @@ func destFor(p Pattern, rng *rand.Rand, perm []int, n, src int) int {
 // network that faulty deserves a skip, not a spin.
 const uniformRedraws = 64
 
-// drawDest picks a usable destination distinct from src, or reports
+// DrawDest picks a usable destination distinct from src, or reports
 // failure. Uniform resamples (a uniform draw hitting src or a faulty
 // node carries no pattern intent, so redrawing preserves the configured
 // injection rate); the deterministic patterns have exactly one choice
 // per source, so an unusable choice is a skip the caller must count —
 // silently suppressing it would quietly undershoot Config.Rate.
-func drawDest(p Pattern, rng *rand.Rand, perm []int, n, src int, usable func(int) bool) (int, bool) {
+func DrawDest(p Pattern, rng *rand.Rand, perm []int, n, src int, usable func(int) bool) (int, bool) {
 	if p == Uniform {
 		for try := 0; try < uniformRedraws; try++ {
 			if d := rng.Intn(n); d != src && usable(d) {

@@ -297,7 +297,7 @@ func Run(t Topology, cfg Config) (Result, error) {
 			if !cfg.injecting(cycle) || !usable(v) || rng.Float64() >= cfg.Rate {
 				continue
 			}
-			dst, ok := drawDest(cfg.Pattern, rng, perm, n, v, usable)
+			dst, ok := DrawDest(cfg.Pattern, rng, perm, n, v, usable)
 			if !ok {
 				res.Skipped++
 				continue

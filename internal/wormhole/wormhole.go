@@ -48,17 +48,43 @@ type Config struct {
 	DeadlockAt int                  // motionless cycles that count as deadlock (default 64)
 }
 
-// Result reports the run.
+// Validate reports the first configuration error, naming the offending
+// field; Run rejects invalid configs with the same errors.
+func (cfg *Config) Validate() error {
+	switch {
+	case cfg.Cycles <= 0:
+		return fmt.Errorf("wormhole: Cycles %d < 1", cfg.Cycles)
+	case cfg.Rate < 0 || cfg.Rate > 1:
+		return fmt.Errorf("wormhole: Rate %v outside [0,1]", cfg.Rate)
+	case cfg.PacketLen < 1:
+		return fmt.Errorf("wormhole: PacketLen %d < 1", cfg.PacketLen)
+	case cfg.BufDepth < 1:
+		return fmt.Errorf("wormhole: BufDepth %d < 1", cfg.BufDepth)
+	case cfg.VCs < 1:
+		return fmt.Errorf("wormhole: VCs %d < 1", cfg.VCs)
+	case cfg.Policy == nil:
+		return fmt.Errorf("wormhole: Policy is required")
+	case cfg.Route == nil:
+		return fmt.Errorf("wormhole: Route is required")
+	case cfg.DeadlockAt < 0:
+		return fmt.Errorf("wormhole: DeadlockAt %d < 0", cfg.DeadlockAt)
+	}
+	return nil
+}
+
+// Result reports the run. The JSON shape is covered by a golden-file
+// test so hbsim output stays byte-stable across refactors.
 type Result struct {
-	Injected   int
-	Delivered  int
-	InFlight   int
-	AvgLatency float64
-	MaxLatency int
-	Deadlocked bool
+	Injected   int     `json:"injected"`
+	Delivered  int     `json:"delivered"`
+	InFlight   int     `json:"in_flight"`
+	FlitEvents int64   `json:"flit_events"` // flit buffer movements (inject/shift/sink)
+	AvgLatency float64 `json:"avg_latency"`
+	MaxLatency int     `json:"max_latency"`
+	Deadlocked bool    `json:"deadlocked"`
 	// DeadCycle is the cycle at which deadlock was declared (valid when
 	// Deadlocked).
-	DeadCycle int
+	DeadCycle int `json:"dead_cycle"`
 }
 
 type worm struct {
@@ -75,14 +101,8 @@ type worm struct {
 
 // Run simulates cfg on g.
 func Run(g graph.Graph, cfg Config) (Result, error) {
-	if cfg.Cycles <= 0 || cfg.PacketLen < 1 || cfg.BufDepth < 1 || cfg.VCs < 1 {
-		return Result{}, fmt.Errorf("wormhole: invalid config %+v", cfg)
-	}
-	if cfg.Rate < 0 || cfg.Rate > 1 {
-		return Result{}, fmt.Errorf("wormhole: injection rate %v outside [0,1]", cfg.Rate)
-	}
-	if cfg.Policy == nil || cfg.Route == nil {
-		return Result{}, fmt.Errorf("wormhole: Policy and Route are required")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	deadlockAt := cfg.DeadlockAt
 	if deadlockAt == 0 {
@@ -164,6 +184,7 @@ func Run(g graph.Graph, cfg Config) (Result, error) {
 			if w.headHop == last && w.occupied[last] > 0 {
 				w.occupied[last]--
 				w.sunk++
+				res.FlitEvents++
 				moved = true
 			}
 			// Try to advance the head into the next channel.
@@ -181,6 +202,7 @@ func Run(g graph.Graph, cfg Config) (Result, error) {
 				if w.occupied[h] < cfg.BufDepth && w.occupied[h-1] > 0 {
 					w.occupied[h]++
 					w.occupied[h-1]--
+					res.FlitEvents++
 					moved = true
 				}
 			}
@@ -188,6 +210,7 @@ func Run(g graph.Graph, cfg Config) (Result, error) {
 			if w.toInject > 0 && w.headHop >= w.tailHop && w.occupied[w.tailHop] < cfg.BufDepth {
 				w.occupied[w.tailHop]++
 				w.toInject--
+				res.FlitEvents++
 				moved = true
 			}
 			// Release drained tail channels once injection has finished.

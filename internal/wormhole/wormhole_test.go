@@ -1,6 +1,7 @@
 package wormhole
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -22,18 +23,38 @@ func cwRingRoute(n int) func(u, v int) []int {
 func TestConfigValidation(t *testing.T) {
 	ring := graph.Ring{N: 6}
 	route := cwRingRoute(6)
-	bad := []Config{
-		{Cycles: 0, Rate: 0.1, PacketLen: 2, BufDepth: 1, VCs: 1, Policy: SingleVC, Route: route},
-		{Cycles: 10, Rate: -1, PacketLen: 2, BufDepth: 1, VCs: 1, Policy: SingleVC, Route: route},
-		{Cycles: 10, Rate: 0.1, PacketLen: 0, BufDepth: 1, VCs: 1, Policy: SingleVC, Route: route},
-		{Cycles: 10, Rate: 0.1, PacketLen: 2, BufDepth: 0, VCs: 1, Policy: SingleVC, Route: route},
-		{Cycles: 10, Rate: 0.1, PacketLen: 2, BufDepth: 1, VCs: 0, Policy: SingleVC, Route: route},
-		{Cycles: 10, Rate: 0.1, PacketLen: 2, BufDepth: 1, VCs: 1, Policy: nil, Route: route},
-		{Cycles: 10, Rate: 0.1, PacketLen: 2, BufDepth: 1, VCs: 1, Policy: SingleVC, Route: nil},
+	good := Config{Cycles: 10, Rate: 0.1, PacketLen: 2, BufDepth: 1, VCs: 1, Policy: SingleVC, Route: route}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
 	}
-	for i, cfg := range bad {
-		if _, err := Run(ring, cfg); err == nil {
-			t.Errorf("config %d accepted", i)
+	// Each mutation breaks exactly one field; the error must name it.
+	bad := []struct {
+		field string
+		mut   func(*Config)
+	}{
+		{"Cycles", func(c *Config) { c.Cycles = 0 }},
+		{"Rate", func(c *Config) { c.Rate = -1 }},
+		{"Rate", func(c *Config) { c.Rate = 1.5 }},
+		{"PacketLen", func(c *Config) { c.PacketLen = 0 }},
+		{"BufDepth", func(c *Config) { c.BufDepth = 0 }},
+		{"VCs", func(c *Config) { c.VCs = 0 }},
+		{"Policy", func(c *Config) { c.Policy = nil }},
+		{"Route", func(c *Config) { c.Route = nil }},
+		{"DeadlockAt", func(c *Config) { c.DeadlockAt = -1 }},
+	}
+	for _, tc := range bad {
+		cfg := good
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s mutation accepted", tc.field)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("%s mutation: error %q does not name the field", tc.field, err)
+		}
+		if _, rerr := Run(ring, cfg); rerr == nil || rerr.Error() != err.Error() {
+			t.Errorf("%s mutation: Run error %v differs from Validate error %v", tc.field, rerr, err)
 		}
 	}
 	// A policy returning an out-of-range VC must be rejected.
