@@ -73,7 +73,9 @@ func (s LinkSchedule) MaxLive() int {
 // RandomLinkChurn generates a reproducible schedule of transient link
 // failures on g: each failure picks a uniform edge (a uniform node and
 // a uniform incident link), dwells for a uniform number of cycles in
-// [MinDwell, MaxDwell], then recovers. The ChurnConfig fields Order,
+// [MinDwell, MaxDwell], then recovers. A link that is still down is
+// never failed again, so each Fail/Recover pair brackets one contiguous
+// outage of the promised dwell. The ChurnConfig fields Order,
 // Cycles, MaxLive, Rate, MinDwell, MaxDwell and Seed keep their
 // RandomChurn meaning; Protect is ignored (links have no protected
 // set). Order must match g.Order().
@@ -96,17 +98,16 @@ func RandomLinkChurn(g graph.Graph, cfg ChurnConfig) (LinkSchedule, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var s LinkSchedule
-	recoverAt := make([]int, 0, cfg.MaxLive) // cycles at which live failures end
+	type key struct{ u, v int }
+	down := make(map[key]int, cfg.MaxLive) // normalized edge -> recover cycle
 	var buf []int
 	for c := 0; c < cfg.Cycles; c++ {
-		live := recoverAt[:0]
-		for _, r := range recoverAt {
-			if r > c {
-				live = append(live, r)
+		for k, until := range down {
+			if until <= c {
+				delete(down, k)
 			}
 		}
-		recoverAt = live
-		if len(recoverAt) >= cfg.MaxLive || rng.Float64() >= cfg.Rate {
+		if len(down) >= cfg.MaxLive || rng.Float64() >= cfg.Rate {
 			continue
 		}
 		u := rng.Intn(cfg.Order)
@@ -115,10 +116,17 @@ func RandomLinkChurn(g graph.Graph, cfg ChurnConfig) (LinkSchedule, error) {
 			continue
 		}
 		v := buf[rng.Intn(len(buf))]
+		k := key{u, v}
+		if u > v {
+			k = key{v, u}
+		}
+		if _, isDown := down[k]; isDown {
+			continue // skip rather than redraw, as in RandomChurn
+		}
 		dwell := minD + rng.Intn(maxD-minD+1)
-		s = append(s, LinkEvent{Cycle: c, U: u, V: v, Fail: true})
-		s = append(s, LinkEvent{Cycle: c + dwell, U: u, V: v, Fail: false})
-		recoverAt = append(recoverAt, c+dwell)
+		s = append(s, LinkEvent{Cycle: c, U: u, V: v, Fail: true},
+			LinkEvent{Cycle: c + dwell, U: u, V: v, Fail: false})
+		down[k] = c + dwell
 	}
 	s.Sort()
 	return s, nil

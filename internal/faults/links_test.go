@@ -53,6 +53,32 @@ func TestLinkScheduleSortAndMaxLive(t *testing.T) {
 	}
 }
 
+// replayLinkSchedule walks a sorted schedule tracking the down set:
+// every Fail must land on an up link and every Recover on a down one,
+// so each outage dwells exactly as long as the generator promised.
+func replayLinkSchedule(t *testing.T, s LinkSchedule) {
+	t.Helper()
+	type key struct{ u, v int }
+	down := map[key]bool{}
+	for _, e := range s {
+		k := key{e.U, e.V}
+		if e.U > e.V {
+			k = key{e.V, e.U}
+		}
+		if e.Fail {
+			if down[k] {
+				t.Fatalf("link %d-%d failed again at cycle %d while still down", e.U, e.V, e.Cycle)
+			}
+			down[k] = true
+		} else {
+			if !down[k] {
+				t.Fatalf("link %d-%d recovered at cycle %d while up", e.U, e.V, e.Cycle)
+			}
+			delete(down, k)
+		}
+	}
+}
+
 func TestRandomLinkChurn(t *testing.T) {
 	hb := core.MustNew(2, 3)
 	cfg := ChurnConfig{
@@ -72,6 +98,7 @@ func TestRandomLinkChurn(t *testing.T) {
 	if got := s.MaxLive(); got > cfg.MaxLive {
 		t.Fatalf("MaxLive %d exceeds cap %d", got, cfg.MaxLive)
 	}
+	replayLinkSchedule(t, s)
 	// Every failed edge must exist in the graph.
 	d := graph.Build(hb)
 	for _, e := range s {
@@ -102,6 +129,25 @@ func TestRandomLinkChurn(t *testing.T) {
 	if reflect.DeepEqual(s, other) {
 		t.Fatal("different seeds produced identical schedules")
 	}
+}
+
+// TestRandomLinkChurnNoDoubleFailure: on a tiny graph at high rate the
+// generator keeps picking edges that are already down; it must skip
+// them rather than emit a second Fail whose paired Recover would cut
+// the first outage's dwell short.
+func TestRandomLinkChurnNoDoubleFailure(t *testing.T) {
+	g := graph.Ring{N: 4}
+	s, err := RandomLinkChurn(g, ChurnConfig{
+		Order: 4, Cycles: 400, MaxLive: 3, Rate: 0.5,
+		MinDwell: 20, MaxDwell: 40, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) == 0 {
+		t.Fatal("empty schedule at rate 0.5")
+	}
+	replayLinkSchedule(t, s)
 }
 
 func TestRandomLinkChurnRejects(t *testing.T) {

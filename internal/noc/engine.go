@@ -70,6 +70,7 @@ type shard struct {
 	chunks   [][]worm
 	slabs    [][]int32 // backing arrays, kept so reset can rebuild nothing
 	free     []int32
+	dfree    []int32 // slots retired by dropCrossing, recycled next postCycle
 	act      []int32 // worms to process this cycle
 	nxt      []int32 // worms still active next cycle
 	parks    []parkEntry
@@ -249,6 +250,19 @@ func (e *Engine) freeWorm(s *shard, w *worm, slot int32) {
 	w.parked = false
 	w.epoch++
 	s.free = append(s.free, slot)
+}
+
+// deferFreeWorm retires a worm whose slot may still be referenced by a
+// stale s.act entry: dropCrossing runs after the act/nxt swap, so the
+// entry is consumed only during the coming cycle. Returning the slot to
+// s.free now would let the next injectShard pop it (LIFO) and append a
+// second act entry for the same slot, double-processing the new worm.
+// The slot rejoins the free list in postCycle, after act is consumed.
+func (e *Engine) deferFreeWorm(s *shard, w *worm, slot int32) {
+	w.alive = false
+	w.parked = false
+	w.epoch++
+	s.dfree = append(s.dfree, slot)
 }
 
 // --- injection ---
@@ -750,7 +764,7 @@ func (e *Engine) dropCrossing(node, edge int32) {
 					e.wakeEdge(w.chans[h], true)
 				}
 				s.dropped++
-				e.freeWorm(s, w, slot)
+				e.deferFreeWorm(s, w, slot)
 			}
 		}
 	}
@@ -826,6 +840,10 @@ func (e *Engine) postCycle(c int) (int, bool) {
 			progress = true
 			s.progressed = false
 		}
+		// Slots deferred by dropCrossing last cycle: their stale act
+		// entries have now been consumed, so recycling is safe again.
+		s.free = append(s.free, s.dfree...)
+		s.dfree = s.dfree[:0]
 		for _, p := range s.parks {
 			e.waiters[p.edge] = append(e.waiters[p.edge], waitEntry{slot: p.slot, epoch: p.epoch})
 		}
@@ -892,7 +910,10 @@ func (e *Engine) postCycle(c int) (int, bool) {
 			e.idle += skip
 			if e.idle >= e.deadlockAt {
 				e.res.Deadlocked = true
-				e.res.DeadCycle = next + e.deadlockAt - (e.idle - skip)
+				// The skipped cycles are next..target-1; cumulative idle
+				// first reaches deadlockAt at the (deadlockAt - prior
+				// idle)-th of them, matching the per-cycle accounting.
+				e.res.DeadCycle = next + e.deadlockAt - (e.idle - skip) - 1
 				return 0, true
 			}
 		}
@@ -949,6 +970,7 @@ func (e *Engine) reset() {
 		s.dmsgs = s.dmsgs[:0]
 		s.pend = s.pend[:0]
 		s.free = s.free[:0]
+		s.dfree = s.dfree[:0]
 		for ci := range s.chunks {
 			for wi := chunkSize - 1; wi >= 0; wi-- {
 				s.chunks[ci][wi].alive = false

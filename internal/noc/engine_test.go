@@ -344,3 +344,114 @@ func TestTreeEscapeAdaptive(t *testing.T) {
 		t.Fatal("nothing delivered")
 	}
 }
+
+// TestChurnSlotRecycling: dropCrossing runs after the act/nxt swap, so
+// a dropped worm's slot can still sit in s.act for the coming cycle.
+// Recycling the slot before that stale entry is consumed would let the
+// next injectShard pop it (LIFO) and append a second act entry for the
+// same slot — the new worm would then be claimed and committed twice
+// per cycle for the rest of its life. Drive the serial loop by hand
+// under combined node/link churn with active injection and assert the
+// no-duplicate invariant directly on every shard's act list.
+func TestChurnSlotRecycling(t *testing.T) {
+	hb := core.MustNew(2, 3)
+	sched, err := faults.RandomChurn(faults.ChurnConfig{
+		Order: hb.Order(), Cycles: 900, MaxLive: 2, Rate: 0.05,
+		MinDwell: 10, MaxDwell: 60, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, err := faults.RandomLinkChurn(hb, faults.ChurnConfig{
+		Order: hb.Order(), Cycles: 900, MaxLive: 6, Rate: 0.2,
+		MinDwell: 5, MaxDwell: 30, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(hb, Config{
+		Cycles: 1000, Rate: 0.5, PacketLen: 3, BufDepth: 2, VCs: 4,
+		MaxRoute: hb.DiameterFormula(), Adaptive: hbAdaptive(hb), Seed: 33,
+		Schedule: sched, Links: links,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.reset()
+	e.applyEvents(0)
+	seen := make(map[int32]bool)
+	deferred := 0
+	for c := 0; ; {
+		for si := range e.shards {
+			e.injectShard(&e.shards[si], c)
+		}
+		for si := range e.shards {
+			s := &e.shards[si]
+			for k := range seen {
+				delete(seen, k)
+			}
+			for _, slot := range s.act {
+				if seen[slot] {
+					t.Fatalf("cycle %d: slot %d appears twice in shard %d act list", c, slot, s.id)
+				}
+				seen[slot] = true
+			}
+		}
+		for si := range e.shards {
+			e.claimShard(&e.shards[si], c)
+		}
+		for si := range e.shards {
+			e.commitShard(&e.shards[si], c)
+		}
+		next, stop := e.postCycle(c)
+		if stop {
+			break
+		}
+		e.applyEvents(next)
+		for si := range e.shards {
+			deferred += len(e.shards[si].dfree)
+		}
+		c = next
+	}
+	if deferred == 0 {
+		t.Fatal("churn never deferred a dropped worm's slot — scenario not exercised")
+	}
+}
+
+// TestDeadlockFastForwardParity: the fast-forward path must charge the
+// idle budget exactly like per-cycle accounting, reporting DeadCycle as
+// the cycle at which cumulative idle first reaches DeadlockAt. Four
+// messages on a single-VC 4-ring wedge in a channel-wait cycle: all
+// worms acquire their first hop and inject a flit at cycle 0, block and
+// park at cycle 1 (idle=1), and a distant link event makes the engine
+// fast-forward instead of stepping. Idle therefore reaches DeadlockAt
+// at cycle DeadlockAt, jump or no jump.
+func TestDeadlockFastForwardParity(t *testing.T) {
+	const n = 4
+	ring := graph.Ring{N: n}
+	msgs := []collectives.Msg{
+		{Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 0}, {Src: 3, Dst: 1},
+	}
+	far := faults.LinkSchedule{
+		{Cycle: 2000, U: 0, V: 1, Fail: true},
+		{Cycle: 2010, U: 0, V: 1, Fail: false},
+	}
+	e, err := New(ring, Config{
+		Cycles: 4000, PacketLen: 4, BufDepth: 1, VCs: 1, DeadlockAt: 64,
+		MaxRoute: n - 1, Route: cwRingRoute(n), Policy: wormhole.SingleVC,
+		Messages: msgs, Links: far,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatalf("wedged ring not detected: %+v", res)
+	}
+	if res.DeadCycle != 64 {
+		t.Fatalf("fast-forward DeadCycle = %d, want 64 (idle starts at cycle 1)", res.DeadCycle)
+	}
+}
