@@ -58,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	grace := fs.Duration("grace", 10*time.Second, "serve: shutdown drain budget")
 	timeout := fs.Duration("timeout", 0, "serve: per-request deadline (0 = default, negative disables)")
 	maxInFlight := fs.Int("maxinflight", 0, "serve: 503 load-shedding bound (0 = default, negative disables)")
+	batchWorkers := fs.Int("batchworkers", 0, "serve: /batch kernel fan-out (0 = GOMAXPROCS)")
+	snapshotDir := fs.String("snapshotdir", "", "serve: directory of *.hbsnap artifacts (hbtables -snapshot); /estimate answers covered dims exactly")
 
 	url := fs.String("url", "http://127.0.0.1:8080", "load: target base URL")
 	m := fs.Int("m", 2, "load: hypercube dimension")
@@ -69,6 +71,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	endpoints := fs.String("endpoints", "route", "load: comma-separated endpoints (route,paths)")
 	mixes := fs.String("mixes", "uniform,permutation", "load: comma-separated mixes")
 	out := fs.String("out", "BENCH_serve.json", "load: report path")
+	batch := fs.Int("batch", 0, "load: also run /batch with this many pairs per request (0 disables)")
+	codec := fs.String("codec", "bin", "load: /batch codec (json or bin)")
+	batchQPS := fs.Int("batchqps", 0, "load: /batch request rate (0 = qps, i.e. batch× the single-query pair rate)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,7 +88,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			CacheShard:       *shards,
 			RequestTimeout:   *timeout,
 			MaxInFlight:      *maxInFlight,
+			BatchWorkers:     *batchWorkers,
 		})
+		if *snapshotDir != "" {
+			loaded, err := srv.LoadSnapshots(*snapshotDir)
+			if err != nil {
+				fmt.Fprintf(stderr, "hbd: %v\n", err)
+				return 1
+			}
+			defer srv.CloseSnapshots()
+			fmt.Fprintf(stdout, "hbd: loaded %d snapshots from %s\n", loaded, *snapshotDir)
+		}
 		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 		defer stop()
 		fmt.Fprintf(stdout, "hbd: serving on %s (SIGTERM drains in-flight requests)\n", *addr)
@@ -116,6 +131,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 				rep.Results = append(rep.Results, res)
 				fmt.Fprintf(stdout, "hbd: %-6s %-12s %6d req  %8.1f qps  p50 %.3fms  p99 %.3fms  non-2xx %d\n",
 					ep, mix, res.Requests, res.AchievedQPS, res.LatencyMS.P50, res.LatencyMS.P99, res.Non2xx)
+			}
+		}
+		if *batch > 0 {
+			bq := *batchQPS
+			if bq <= 0 {
+				bq = *qps
+			}
+			for _, mix := range splitList(*mixes) {
+				res, err := hbserve.Load(hbserve.LoadConfig{
+					BaseURL:  *url,
+					M:        *m,
+					N:        *n,
+					Endpoint: "route",
+					Mix:      mix,
+					QPS:      bq,
+					Duration: *duration,
+					Workers:  *workers,
+					Seed:     *seed,
+					Batch:    *batch,
+					Codec:    *codec,
+				})
+				if err != nil {
+					fmt.Fprintf(stderr, "hbd: batch load %s: %v\n", mix, err)
+					return 1
+				}
+				rep.Results = append(rep.Results, res)
+				fmt.Fprintf(stdout, "hbd: batch=%d %-4s %-12s %6d req  %8.1f qps  %10.0f routes/s  p50 %.3fms  p99 %.3fms  non-2xx %d\n",
+					*batch, res.Codec, mix, res.Requests, res.AchievedQPS, res.RoutesPerSec, res.LatencyMS.P50, res.LatencyMS.P99, res.Non2xx)
+			}
+			if sp := rep.ComputeBatchSpeedup(); sp > 0 {
+				fmt.Fprintf(stdout, "hbd: batch speedup %.1fx routes/s vs single-query\n", sp)
 			}
 		}
 		if err := rep.ScrapeCacheStats(*url); err != nil {

@@ -82,3 +82,60 @@ func TestLoadModeEndToEnd(t *testing.T) {
 		t.Fatalf("drain: %v", err)
 	}
 }
+
+// TestLoadModeBatch runs the batch leg of load mode against an
+// in-process server and checks the speedup line and report land.
+func TestLoadModeBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed load run in -short")
+	}
+	srv := hbserve.NewServer(hbserve.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln, 5*time.Second) }()
+
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-mode", "load",
+		"-url", "http://" + ln.Addr().String(),
+		"-m", "1", "-n", "3",
+		"-qps", "200", "-duration", "300ms", "-workers", "8",
+		"-endpoints", "route", "-mixes", "uniform",
+		"-batch", "32", "-codec", "bin",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	for _, want := range []string{"batch=32", "batch speedup", "wrote " + out} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout is missing %q:\n%s", want, stdout.String())
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestServeBadSnapshotDir: a broken -snapshotdir must fail startup, not
+// serve without the artifacts it was told to load.
+func TestServeBadSnapshotDir(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-mode", "serve",
+		"-addr", "127.0.0.1:0",
+		"-snapshotdir", filepath.Join(t.TempDir(), "absent"),
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "snapshot") {
+		t.Errorf("stderr %q", stderr.String())
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Batch routing kernel.
+//
+// The hbd /batch endpoint amortises per-request serving overhead over
+// thousands of (src, dst) pairs, which only pays off if the per-pair
+// cost underneath is the bare label arithmetic. RouteBatch is that
+// kernel: it answers every pair of a request into caller-provided
+// reusable column storage — a status column, a distance column, and for
+// routes a single contiguous node arena addressed by a prefix-summed
+// offset column — with zero steady-state allocations per pair on both
+// the dense and implicit backends.
+//
+// The route pass exploits a Theorem 3 invariant: the route emitted by
+// AppendRoute is optimal, so its node count is exactly Distance(u,v)+1.
+// That turns batch routing into two embarrassingly parallel passes with
+// no synchronisation on the arena: pass one computes all distances,
+// a serial prefix sum sizes the arena and assigns every pair a disjoint
+// segment, and pass two appends each route into its own full-capacity
+// segment. The offset column doubles as the columnar wire format the
+// /batch codecs emit, so the kernel output is encoded without copying.
+
+// Per-pair status codes. They are wire-format values (the /batch
+// protocol echoes them verbatim), so they are stable small integers.
+const (
+	// BatchOK marks a pair that was answered.
+	BatchOK uint8 = 0
+	// BatchBadNode marks a pair with an out-of-range endpoint.
+	BatchBadNode uint8 = 1
+	// BatchFailed marks a pair the operation could not answer (a faulty
+	// or disconnected endpoint under faults, equal endpoints for
+	// disjoint paths). RouteBatch itself never emits it; the composed
+	// operations in hbserve do.
+	BatchFailed uint8 = 2
+)
+
+// BatchOp selects what RouteBatch computes per pair.
+type BatchOp uint8
+
+const (
+	// BatchDist fills only the status and distance columns.
+	BatchDist BatchOp = iota
+	// BatchRoute additionally materialises every route into the arena.
+	BatchRoute
+)
+
+// BatchScratch is the reusable column storage of one batch call. All
+// slices grow amortised and are overwritten in place on reuse, so a
+// pooled scratch reaches zero allocations per pair in steady state.
+// After RouteBatch returns, pair i's answer is Status[i], Dist[i] and —
+// for BatchRoute with Status[i] == BatchOK — the node segment
+// Nodes[Off[i]:Off[i+1]].
+type BatchScratch struct {
+	Status []uint8
+	Dist   []int32
+	Off    []int32 // len(pairs)+1 after BatchRoute; prefix sums into Nodes
+	Nodes  []Node  // route arena; segments are disjoint per pair
+}
+
+// batchChunkMin is the smallest per-worker slice of a batch worth a
+// goroutine: below it the spawn overhead exceeds the label arithmetic.
+const batchChunkMin = 256
+
+// batchWorkers clamps a requested worker count to the batch size.
+func batchWorkers(workers, pairs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if limit := pairs / batchChunkMin; workers > limit {
+		workers = limit
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// RouteBatch answers op for every pair (src[i], dst[i]) into bs,
+// reusing its storage. workers bounds the fan-out (<= 0 means
+// GOMAXPROCS); batches too small to shard run on the calling goroutine
+// with no allocation at all. Invalid endpoints get BatchBadNode with
+// Dist -1 and an empty route segment; they never abort the batch.
+func RouteBatch(t Topology, op BatchOp, src, dst []Node, workers int, bs *BatchScratch) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("core: batch columns disagree: %d src, %d dst", len(src), len(dst))
+	}
+	pairs := len(src)
+	bs.Status = growByte(bs.Status, pairs)
+	bs.Dist = growInt32(bs.Dist, pairs)
+	workers = batchWorkers(workers, pairs)
+
+	if workers == 1 {
+		batchDistRange(t, src, dst, bs, 0, pairs)
+	} else {
+		shardRange(workers, pairs, func(lo, hi int) {
+			batchDistRange(t, src, dst, bs, lo, hi)
+		})
+	}
+	if op == BatchDist {
+		bs.Off = bs.Off[:0]
+		bs.Nodes = bs.Nodes[:0]
+		return nil
+	}
+
+	// Prefix-sum the route lengths (Distance+1 nodes per answered pair)
+	// into disjoint arena segments.
+	bs.Off = growInt32(bs.Off, pairs+1)
+	total := int32(0)
+	bs.Off[0] = 0
+	for i := 0; i < pairs; i++ {
+		if bs.Status[i] == BatchOK {
+			total += bs.Dist[i] + 1
+		}
+		bs.Off[i+1] = total
+	}
+	bs.Nodes = growNode(bs.Nodes, int(total))
+
+	if workers == 1 {
+		batchRouteRange(t, src, dst, bs, 0, pairs)
+	} else {
+		shardRange(workers, pairs, func(lo, hi int) {
+			batchRouteRange(t, src, dst, bs, lo, hi)
+		})
+	}
+	return nil
+}
+
+// batchDistRange fills the status and distance columns for [lo, hi).
+func batchDistRange(t Topology, src, dst []Node, bs *BatchScratch, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		u, v := src[i], dst[i]
+		if !t.ValidNode(u) || !t.ValidNode(v) {
+			bs.Status[i] = BatchBadNode
+			bs.Dist[i] = -1
+			continue
+		}
+		bs.Status[i] = BatchOK
+		bs.Dist[i] = int32(t.Distance(u, v))
+	}
+}
+
+// batchRouteRange appends each answered route of [lo, hi) into its
+// pre-sized arena segment. The three-index slice pins the segment
+// capacity, so AppendRoute writes in place and any length disagreement
+// with the distance column is a core invariant violation, not a quiet
+// overrun into the neighbouring pair.
+func batchRouteRange(t Topology, src, dst []Node, bs *BatchScratch, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if bs.Status[i] != BatchOK {
+			continue
+		}
+		start, end := bs.Off[i], bs.Off[i+1]
+		out := t.AppendRoute(src[i], dst[i], bs.Nodes[start:start:end])
+		if int32(len(out)) != end-start {
+			panic(fmt.Sprintf("core: route %d->%d has %d nodes, distance column promised %d",
+				src[i], dst[i], len(out), end-start))
+		}
+	}
+}
+
+// shardRange runs f over contiguous chunks of [0, n) on workers
+// goroutines and waits for all of them.
+func shardRange(workers, n int, f func(lo, hi int)) {
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func growByte(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growNode(s []Node, n int) []Node {
+	if cap(s) < n {
+		return make([]Node, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,230 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// batchBackends returns both backends over the same instance, so every
+// batch property is asserted on the dense and the implicit tier.
+func batchBackends(t *testing.T, m, n int) map[string]core.Topology {
+	t.Helper()
+	hb := core.MustNew(m, n)
+	return map[string]core.Topology{
+		"dense":    hb,
+		"implicit": core.ImplicitOf(hb),
+	}
+}
+
+// testPairs builds a deterministic pair mix covering self pairs, long
+// pairs and out-of-range endpoints.
+func testPairs(order, count int) (src, dst []core.Node) {
+	for i := 0; i < count; i++ {
+		u := (i * 2654435761) % order
+		v := (i*40503 + 13) % order
+		switch i % 17 {
+		case 3:
+			v = u // self pair
+		case 7:
+			v = order + i // out of range
+		case 11:
+			u = -1 - i // negative
+		}
+		src = append(src, u)
+		dst = append(dst, v)
+	}
+	return src, dst
+}
+
+func TestRouteBatchMatchesSingle(t *testing.T) {
+	for name, top := range batchBackends(t, 2, 3) {
+		t.Run(name, func(t *testing.T) {
+			src, dst := testPairs(top.Order(), 500)
+			var bs core.BatchScratch
+			if err := core.RouteBatch(top, core.BatchRoute, src, dst, 0, &bs); err != nil {
+				t.Fatal(err)
+			}
+			if len(bs.Status) != len(src) || len(bs.Off) != len(src)+1 {
+				t.Fatalf("column lengths: status %d off %d, want %d/%d", len(bs.Status), len(bs.Off), len(src), len(src)+1)
+			}
+			for i := range src {
+				u, v := src[i], dst[i]
+				if !top.ValidNode(u) || !top.ValidNode(v) {
+					if bs.Status[i] != core.BatchBadNode || bs.Dist[i] != -1 || bs.Off[i] != bs.Off[i+1] {
+						t.Fatalf("pair %d (%d,%d): bad endpoints got status %d dist %d seg %d", i, u, v, bs.Status[i], bs.Dist[i], bs.Off[i+1]-bs.Off[i])
+					}
+					continue
+				}
+				if bs.Status[i] != core.BatchOK {
+					t.Fatalf("pair %d (%d,%d): status %d", i, u, v, bs.Status[i])
+				}
+				if want := top.Distance(u, v); int(bs.Dist[i]) != want {
+					t.Fatalf("pair %d: dist %d, want %d", i, bs.Dist[i], want)
+				}
+				seg := bs.Nodes[bs.Off[i]:bs.Off[i+1]]
+				want := top.Route(u, v)
+				if len(seg) != len(want) {
+					t.Fatalf("pair %d: route %v, want %v", i, seg, want)
+				}
+				for j := range want {
+					if seg[j] != want[j] {
+						t.Fatalf("pair %d: route %v, want %v", i, seg, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRouteBatchDistOnly(t *testing.T) {
+	top := core.MustNew(2, 3)
+	src, dst := testPairs(top.Order(), 200)
+	var bs core.BatchScratch
+	if err := core.RouteBatch(top, core.BatchDist, src, dst, 0, &bs); err != nil {
+		t.Fatal(err)
+	}
+	if len(bs.Off) != 0 || len(bs.Nodes) != 0 {
+		t.Fatalf("dist-only batch left route columns: off %d nodes %d", len(bs.Off), len(bs.Nodes))
+	}
+	for i := range src {
+		if bs.Status[i] != core.BatchOK {
+			continue
+		}
+		if want := top.Distance(src[i], dst[i]); int(bs.Dist[i]) != want {
+			t.Fatalf("pair %d: dist %d, want %d", i, bs.Dist[i], want)
+		}
+	}
+}
+
+// TestRouteBatchParallelMatchesSerial pins the sharded fan-out to the
+// serial answer: identical columns, byte for byte, at worker counts
+// that split the batch unevenly.
+func TestRouteBatchParallelMatchesSerial(t *testing.T) {
+	top := core.MustNewImplicit(3, 3)
+	src, dst := testPairs(top.Order(), 2048)
+	var serial core.BatchScratch
+	if err := core.RouteBatch(top, core.BatchRoute, src, dst, 1, &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 7, 16} {
+		var par core.BatchScratch
+		if err := core.RouteBatch(top, core.BatchRoute, src, dst, workers, &par); err != nil {
+			t.Fatal(err)
+		}
+		for i := range src {
+			if par.Status[i] != serial.Status[i] || par.Dist[i] != serial.Dist[i] || par.Off[i+1] != serial.Off[i+1] {
+				t.Fatalf("workers=%d pair %d: (%d,%d,%d) vs serial (%d,%d,%d)", workers, i,
+					par.Status[i], par.Dist[i], par.Off[i+1], serial.Status[i], serial.Dist[i], serial.Off[i+1])
+			}
+		}
+		for i := range serial.Nodes {
+			if par.Nodes[i] != serial.Nodes[i] {
+				t.Fatalf("workers=%d: arena diverges at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestRouteBatchColumnMismatch(t *testing.T) {
+	top := core.MustNew(2, 3)
+	var bs core.BatchScratch
+	if err := core.RouteBatch(top, core.BatchRoute, []core.Node{1, 2}, []core.Node{3}, 0, &bs); err == nil {
+		t.Fatal("mismatched columns accepted")
+	}
+}
+
+// TestRouteBatchSteadyStateAllocs is the acceptance gate for the batch
+// kernel: with a warmed scratch, a whole serial batch — status, dist,
+// prefix sum and every route — allocates nothing on either backend, so
+// the per-pair allocation count is exactly zero.
+func TestRouteBatchSteadyStateAllocs(t *testing.T) {
+	for name, top := range batchBackends(t, 3, 3) {
+		t.Run(name, func(t *testing.T) {
+			order := top.Order()
+			const pairs = 1024
+			src := make([]core.Node, pairs)
+			dst := make([]core.Node, pairs)
+			var bs core.BatchScratch
+			round := 0
+			fill := func() {
+				for i := range src {
+					src[i] = (i*2654435761 + round) % order
+					dst[i] = (i*40503 + 7*round + 13) % order
+				}
+				round++
+			}
+			fill()
+			if err := core.RouteBatch(top, core.BatchRoute, src, dst, 1, &bs); err != nil {
+				t.Fatal(err) // warm the scratch
+			}
+			if got := testing.AllocsPerRun(50, func() {
+				fill()
+				if err := core.RouteBatch(top, core.BatchRoute, src, dst, 1, &bs); err != nil {
+					t.Fatal(err)
+				}
+			}); got != 0 {
+				t.Errorf("%s: %v allocs per %d-pair batch, want 0", name, got, pairs)
+			}
+		})
+	}
+}
+
+// TestRouteBatchParallelAllocsBounded keeps the sharded path honest:
+// its allocations are per-batch goroutine bookkeeping, not per-pair, so
+// they must stay a small constant regardless of batch size.
+func TestRouteBatchParallelAllocsBounded(t *testing.T) {
+	top := core.MustNewImplicit(3, 3)
+	order := top.Order()
+	const pairs = 4096
+	src := make([]core.Node, pairs)
+	dst := make([]core.Node, pairs)
+	for i := range src {
+		src[i] = (i * 2654435761) % order
+		dst[i] = (i*40503 + 13) % order
+	}
+	var bs core.BatchScratch
+	if err := core.RouteBatch(top, core.BatchRoute, src, dst, 4, &bs); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(20, func() {
+		if err := core.RouteBatch(top, core.BatchRoute, src, dst, 4, &bs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perPair := got / pairs; perPair > 0.05 {
+		t.Errorf("parallel batch: %v allocs per batch (%v/pair), want O(workers) only", got, perPair)
+	}
+}
+
+func BenchmarkRouteBatch(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		top     core.Topology
+		workers int
+	}{
+		{"dense/serial", core.MustNew(3, 3), 1},
+		{"implicit/serial", core.MustNewImplicit(3, 3), 1},
+		{"implicit/parallel", core.MustNewImplicit(3, 3), 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			order := bc.top.Order()
+			const pairs = 1024
+			src := make([]core.Node, pairs)
+			dst := make([]core.Node, pairs)
+			for i := range src {
+				src[i] = (i * 2654435761) % order
+				dst[i] = (i*40503 + 13) % order
+			}
+			var bs core.BatchScratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := core.RouteBatch(bc.top, core.BatchRoute, src, dst, bc.workers, &bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(pairs))
+		})
+	}
+}

@@ -17,8 +17,8 @@ func FuzzImplicitRoute(f *testing.F) {
 	f.Add(uint8(3), uint8(5), uint64(1<<20), uint64(42))
 	f.Add(uint8(1), uint8(6), uint64(7), uint64(7))
 	f.Fuzz(func(t *testing.T, mRaw, nRaw uint8, srcRaw, dstRaw uint64) {
-		m := int(mRaw % 5)     // 0..4
-		n := 3 + int(nRaw%4)   // 3..6
+		m := int(mRaw % 5)   // 0..4
+		n := 3 + int(nRaw%4) // 3..6
 		imp, err := core.NewImplicit(m, n)
 		if err != nil {
 			t.Fatalf("NewImplicit(%d,%d): %v", m, n, err)

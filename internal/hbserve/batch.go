@@ -1,0 +1,613 @@
+package hbserve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The /batch endpoint answers thousands of (src, dst) pairs per POST,
+// amortising the per-request overhead (HTTP parsing, dispatch, encode)
+// that dwarfs the label-arithmetic kernel on single-pair GETs. Requests
+// and responses are columnar in two codecs selected by Content-Type:
+//
+//   - application/json — columns as JSON arrays
+//     ({"m":2,"n":3,"op":"route","src":[...],"dst":[...]});
+//   - application/x-hbbatch — length-prefixed little-endian binary
+//     frames (see README "Batch serving & snapshots" for the layout).
+//
+// Four ops share the request shape: dist and route run on the
+// zero-alloc core.RouteBatch kernel, paths bundles Theorem 5 disjoint
+// paths per pair, and faultroute applies one shared fault set to the
+// whole request through the resident incremental router. Responses are
+// columnar too: a per-pair status column plus offset columns into one
+// flat node arena, which is exactly the kernel's in-memory layout — the
+// encoders serialise it without reshaping.
+
+const (
+	// batchBinMagic opens every binary frame stream ("HBB1" on the wire).
+	batchBinMagic uint32 = 0x31424248
+	// batchBinVersion is the framing version; both sides reject others.
+	batchBinVersion uint16 = 1
+	// maxBatchPairs bounds one request; beyond it the client should
+	// split the batch (the response would exceed sane body sizes).
+	maxBatchPairs = 1 << 16
+	// maxBatchBody bounds the request body read.
+	maxBatchBody = 16 << 20
+	// batchCacheMaxPairs bounds which batches enter the route cache:
+	// small batches (conformance probes, repeated UI queries) hit; load
+	// test batches of ~1k pairs bypass so the cache is not churned by
+	// high-cardinality bodies.
+	batchCacheMaxPairs = 256
+
+	ctJSON     = "application/json"
+	ctBatchBin = "application/x-hbbatch"
+)
+
+// Binary op codes (wire values, stable).
+const (
+	batchOpDist       uint8 = 0
+	batchOpRoute      uint8 = 1
+	batchOpPaths      uint8 = 2
+	batchOpFaultRoute uint8 = 3
+)
+
+var batchOpNames = map[uint8]string{
+	batchOpDist:       "dist",
+	batchOpRoute:      "route",
+	batchOpPaths:      "paths",
+	batchOpFaultRoute: "faultroute",
+}
+
+var batchOpCodes = map[string]uint8{
+	"dist":       batchOpDist,
+	"route":      batchOpRoute,
+	"paths":      batchOpPaths,
+	"faultroute": batchOpFaultRoute,
+}
+
+// batchRequest is one decoded /batch request, codec-independent.
+type batchRequest struct {
+	codec  string // "json" or "bin"
+	op     uint8
+	m, n   int
+	faults []int
+	src    []int
+	dst    []int
+}
+
+// batchScratch is the pooled per-request working set: the kernel's
+// column scratch plus the extra columns the composed ops (paths,
+// faultroute) fill.
+type batchScratch struct {
+	bs    core.BatchScratch
+	off   []int32 // faultroute: node offsets; paths: pair -> path offsets
+	poff  []int32 // paths: path -> node offsets
+	nodes []int
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// handleBatch is the /batch endpoint.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, &httpError{code: http.StatusMethodNotAllowed, msg: "/batch takes POST"})
+		return
+	}
+	req, err := parseBatchRequest(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	d := Dims{M: req.m, N: req.n}
+	top, err := s.pool.Get(d)
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	if len(req.faults) > 0 && req.op != batchOpFaultRoute {
+		writeErr(w, badRequest("faults only apply to op=faultroute"))
+		return
+	}
+	for _, f := range req.faults {
+		if !top.ValidNode(f) {
+			writeErr(w, badRequest("fault %d out of range [0,%d)", f, top.Order()))
+			return
+		}
+	}
+	if err := checkDeadline(r); err != nil {
+		writeErr(w, err)
+		return
+	}
+
+	start := time.Now()
+	compute := func() ([]byte, error) { return s.computeBatch(top, d, req) }
+	var (
+		body  []byte
+		cache = "bypass"
+	)
+	if req.cacheable() {
+		var hit bool
+		body, hit, err = s.cache.GetOrCompute(req.cacheKey(), compute)
+		cache = cacheState(hit)
+	} else {
+		body, err = compute()
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.metrics.BatchObserve(req.codec, batchOpNames[req.op], len(req.src), time.Since(start))
+	writeBody(w, req.contentType(), cache, body)
+}
+
+func (r *batchRequest) contentType() string {
+	if r.codec == "bin" {
+		return ctBatchBin
+	}
+	return ctJSON
+}
+
+// cacheable: fault sets are high-cardinality (same policy as
+// /faultroute) and big batches would churn the LRU for little reuse.
+func (r *batchRequest) cacheable() bool {
+	return r.op != batchOpFaultRoute && len(r.src) <= batchCacheMaxPairs
+}
+
+// cacheKey is the full request identity: codec (bodies differ per
+// codec), op, dims, and the raw pair columns — no hashing, so distinct
+// batches can never alias.
+func (r *batchRequest) cacheKey() string {
+	key := make([]byte, 0, 32+8*len(r.src))
+	key = append(key, "batch|"...)
+	key = append(key, r.codec...)
+	key = append(key, '|')
+	key = append(key, batchOpNames[r.op]...)
+	key = strconv.AppendInt(append(key, '|'), int64(r.m), 10)
+	key = strconv.AppendInt(append(key, '|'), int64(r.n), 10)
+	key = append(key, '|')
+	for i := range r.src {
+		key = binary.LittleEndian.AppendUint32(key, uint32(r.src[i]))
+		key = binary.LittleEndian.AppendUint32(key, uint32(r.dst[i]))
+	}
+	return string(key)
+}
+
+// EncodeBatchJSONRequest renders a /batch request body in the JSON
+// codec (the load generator prebuilds its bodies with it).
+func EncodeBatchJSONRequest(op string, m, n int, src, dst []int) []byte {
+	out := make([]byte, 0, 48+12*(len(src)+len(dst)))
+	out = append(out, `{"m":`...)
+	out = strconv.AppendInt(out, int64(m), 10)
+	out = append(out, `,"n":`...)
+	out = strconv.AppendInt(out, int64(n), 10)
+	out = append(out, `,"op":"`...)
+	out = append(out, op...)
+	out = append(out, '"')
+	out = appendJSONInts(out, "src", src)
+	out = appendJSONInts(out, "dst", dst)
+	return append(out, '}')
+}
+
+// EncodeBatchBinRequest renders a /batch request body in the binary
+// codec: header frame, then faults, src and dst column frames.
+func EncodeBatchBinRequest(op string, m, n int, faults, src, dst []int) ([]byte, error) {
+	code, ok := batchOpCodes[op]
+	if !ok {
+		return nil, fmt.Errorf("hbserve: unknown batch op %q", op)
+	}
+	le := binary.LittleEndian
+	out := make([]byte, 0, 4+24+12+4*(len(faults)+len(src)+len(dst)))
+	out = le.AppendUint32(out, 24)
+	out = le.AppendUint32(out, batchBinMagic)
+	out = le.AppendUint16(out, batchBinVersion)
+	out = append(out, code, 0)
+	out = le.AppendUint32(out, uint32(m))
+	out = le.AppendUint32(out, uint32(n))
+	out = le.AppendUint32(out, uint32(len(src)))
+	out = le.AppendUint32(out, uint32(len(faults)))
+	for _, col := range [][]int{faults, src, dst} {
+		out = le.AppendUint32(out, uint32(4*len(col)))
+		for _, v := range col {
+			out = le.AppendUint32(out, uint32(v))
+		}
+	}
+	return out, nil
+}
+
+// request decoding ---------------------------------------------------
+
+func parseBatchRequest(r *http.Request) (*batchRequest, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBatchBody))
+	if err != nil {
+		return nil, badRequest("reading body: %v", err)
+	}
+	ct := r.Header.Get("Content-Type")
+	var req *batchRequest
+	switch {
+	case ct == ctBatchBin:
+		req, err = parseBatchBin(body)
+	case ct == "" || ct == ctJSON || len(ct) > len(ctJSON) && ct[:len(ctJSON)] == ctJSON:
+		req, err = parseBatchJSON(body)
+	default:
+		return nil, &httpError{code: http.StatusUnsupportedMediaType,
+			msg: fmt.Sprintf("unsupported Content-Type %q (want %s or %s)", ct, ctJSON, ctBatchBin)}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(req.src) != len(req.dst) {
+		return nil, badRequest("src has %d entries, dst has %d", len(req.src), len(req.dst))
+	}
+	if len(req.src) > maxBatchPairs {
+		return nil, badRequest("%d pairs over the per-request cap %d", len(req.src), maxBatchPairs)
+	}
+	return req, nil
+}
+
+func parseBatchJSON(body []byte) (*batchRequest, error) {
+	var jr struct {
+		M      *int   `json:"m"`
+		N      *int   `json:"n"`
+		Op     string `json:"op"`
+		Faults []int  `json:"faults"`
+		Src    []int  `json:"src"`
+		Dst    []int  `json:"dst"`
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		return nil, badRequest("bad JSON body: %v", err)
+	}
+	req := &batchRequest{codec: "json", m: 2, n: 3, faults: jr.Faults, src: jr.Src, dst: jr.Dst}
+	if jr.M != nil {
+		req.m = *jr.M
+	}
+	if jr.N != nil {
+		req.n = *jr.N
+	}
+	opName := jr.Op
+	if opName == "" {
+		opName = "route"
+	}
+	op, ok := batchOpCodes[opName]
+	if !ok {
+		return nil, badRequest("unknown op %q (want dist, route, paths or faultroute)", opName)
+	}
+	req.op = op
+	return req, nil
+}
+
+// nextFrame pops one length-prefixed frame.
+func nextFrame(data []byte) (payload, rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("truncated frame: %d bytes left, need a 4-byte length", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if uint64(n) > uint64(len(data)-4) {
+		return nil, nil, fmt.Errorf("frame length %d exceeds remaining %d bytes", n, len(data)-4)
+	}
+	return data[4 : 4+n], data[4+n:], nil
+}
+
+// parseBatchBin decodes the binary framing: header, faults, src, dst.
+func parseBatchBin(body []byte) (*batchRequest, error) {
+	le := binary.LittleEndian
+	hdr, rest, err := nextFrame(body)
+	if err != nil {
+		return nil, badRequest("bad binary batch: %v", err)
+	}
+	if len(hdr) != 24 {
+		return nil, badRequest("bad binary batch: header frame is %d bytes, want 24", len(hdr))
+	}
+	if m := le.Uint32(hdr); m != batchBinMagic {
+		return nil, badRequest("bad binary batch: magic %#x, want %#x", m, batchBinMagic)
+	}
+	if v := le.Uint16(hdr[4:]); v != batchBinVersion {
+		return nil, badRequest("bad binary batch: version %d, want %d", v, batchBinVersion)
+	}
+	op := hdr[6]
+	if _, ok := batchOpNames[op]; !ok {
+		return nil, badRequest("bad binary batch: unknown op code %d", op)
+	}
+	req := &batchRequest{
+		codec: "bin",
+		op:    op,
+		m:     int(le.Uint32(hdr[8:])),
+		n:     int(le.Uint32(hdr[12:])),
+	}
+	npairs := int(le.Uint32(hdr[16:]))
+	nfaults := int(le.Uint32(hdr[20:]))
+	if npairs > maxBatchPairs {
+		return nil, badRequest("%d pairs over the per-request cap %d", npairs, maxBatchPairs)
+	}
+	if req.faults, rest, err = readU32Column(rest, nfaults, "faults"); err != nil {
+		return nil, err
+	}
+	if req.src, rest, err = readU32Column(rest, npairs, "src"); err != nil {
+		return nil, err
+	}
+	if req.dst, rest, err = readU32Column(rest, npairs, "dst"); err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, badRequest("bad binary batch: %d trailing bytes after dst frame", len(rest))
+	}
+	return req, nil
+}
+
+func readU32Column(data []byte, want int, name string) (vals []int, rest []byte, err error) {
+	payload, rest, err := nextFrame(data)
+	if err != nil {
+		return nil, nil, badRequest("bad binary batch: %s frame: %v", name, err)
+	}
+	if len(payload) != 4*want {
+		return nil, nil, badRequest("bad binary batch: %s frame is %d bytes, header promised %d values", name, len(payload), want)
+	}
+	vals = make([]int, want)
+	for i := range vals {
+		vals[i] = int(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return vals, rest, nil
+}
+
+// computation --------------------------------------------------------
+
+// batchColumns is the codec-independent answer of one batch: a status
+// column plus op-dependent columns over one flat node arena.
+type batchColumns struct {
+	op     uint8
+	m, n   int
+	faults []int   // echoed for faultroute
+	status []uint8 // per pair
+	dist   []int32 // dist, route
+	off    []int32 // route/faultroute: pair -> node offsets; paths: pair -> path offsets
+	poff   []int32 // paths: path -> node offsets
+	nodes  []int
+}
+
+func (s *Server) computeBatch(top core.Topology, d Dims, req *batchRequest) ([]byte, error) {
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	cols := batchColumns{op: req.op, m: req.m, n: req.n, faults: req.faults}
+
+	switch req.op {
+	case batchOpDist, batchOpRoute:
+		kop := core.BatchDist
+		if req.op == batchOpRoute {
+			kop = core.BatchRoute
+		}
+		if err := core.RouteBatch(top, kop, req.src, req.dst, s.batchWorkers, &sc.bs); err != nil {
+			return nil, badRequest("%v", err)
+		}
+		cols.status, cols.dist, cols.off, cols.nodes = sc.bs.Status, sc.bs.Dist, sc.bs.Off, sc.bs.Nodes
+
+	case batchOpFaultRoute:
+		if err := s.faultRouteBatch(top, d, req, sc); err != nil {
+			return nil, err
+		}
+		cols.status, cols.off, cols.nodes = sc.bs.Status, sc.off, sc.nodes
+
+	case batchOpPaths:
+		pathsBatch(top, req, sc)
+		cols.status, cols.off, cols.poff, cols.nodes = sc.bs.Status, sc.off, sc.poff, sc.nodes
+	}
+
+	if req.codec == "bin" {
+		return encodeBatchBin(&cols), nil
+	}
+	return encodeBatchJSON(&cols), nil
+}
+
+// faultRouteBatch routes every pair around one shared fault set through
+// the resident incremental router; the SetFaults/Route sequence holds
+// the instance lock so the whole batch sees one consistent fault set.
+func (s *Server) faultRouteBatch(top core.Topology, d Dims, req *batchRequest, sc *batchScratch) error {
+	ir, err := s.routerFor(d, top)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	pairs := len(req.src)
+	sc.bs.Status = sc.bs.Status[:0]
+	sc.off = append(sc.off[:0], 0)
+	sc.nodes = sc.nodes[:0]
+	ir.mu.Lock()
+	defer ir.mu.Unlock()
+	if err := ir.r.SetFaults(req.faults); err != nil {
+		return badRequest("%v", err)
+	}
+	for i := 0; i < pairs; i++ {
+		u, v := req.src[i], req.dst[i]
+		status := core.BatchOK
+		switch {
+		case !top.ValidNode(u) || !top.ValidNode(v):
+			status = core.BatchBadNode
+		default:
+			path, err := ir.r.Route(u, v)
+			if err != nil {
+				// A per-pair routing failure (faulty endpoint, fault set
+				// disconnects the pair) is an answer, not a request error.
+				status = core.BatchFailed
+			} else {
+				sc.nodes = append(sc.nodes, path...)
+			}
+		}
+		sc.bs.Status = append(sc.bs.Status, status)
+		sc.off = append(sc.off, int32(len(sc.nodes)))
+	}
+	return nil
+}
+
+// pathsBatch bundles the Theorem 5 disjoint paths per pair into the
+// two-level columnar layout (pair -> path offsets, path -> node
+// offsets).
+func pathsBatch(top core.Topology, req *batchRequest, sc *batchScratch) {
+	sc.bs.Status = sc.bs.Status[:0]
+	sc.off = append(sc.off[:0], 0)
+	sc.poff = append(sc.poff[:0], 0)
+	sc.nodes = sc.nodes[:0]
+	npaths := 0
+	for i := range req.src {
+		u, v := req.src[i], req.dst[i]
+		status := core.BatchOK
+		switch {
+		case !top.ValidNode(u) || !top.ValidNode(v):
+			status = core.BatchBadNode
+		default:
+			paths, err := top.DisjointPaths(u, v)
+			if err != nil {
+				status = core.BatchFailed // equal endpoints
+			} else {
+				for _, p := range paths {
+					sc.nodes = append(sc.nodes, p...)
+					sc.poff = append(sc.poff, int32(len(sc.nodes)))
+					npaths++
+				}
+			}
+		}
+		sc.bs.Status = append(sc.bs.Status, status)
+		sc.off = append(sc.off, int32(npaths))
+	}
+}
+
+// encoding -----------------------------------------------------------
+
+// encodeBatchJSON renders the columns by hand (strconv appends into one
+// pre-sized buffer): at thousands of pairs per request, reflective
+// json.Marshal of the arrays would dominate the batch compute.
+func encodeBatchJSON(c *batchColumns) []byte {
+	out := make([]byte, 0, 64+12*len(c.status)*3+12*len(c.nodes))
+	out = append(out, `{"m":`...)
+	out = strconv.AppendInt(out, int64(c.m), 10)
+	out = append(out, `,"n":`...)
+	out = strconv.AppendInt(out, int64(c.n), 10)
+	out = append(out, `,"op":"`...)
+	out = append(out, batchOpNames[c.op]...)
+	out = append(out, `","count":`...)
+	out = strconv.AppendInt(out, int64(len(c.status)), 10)
+	if c.op == batchOpFaultRoute {
+		out = appendJSONInts(out, "faults", c.faults)
+	}
+	out = appendJSONBytes(out, "status", c.status)
+	switch c.op {
+	case batchOpDist:
+		out = appendJSONInt32s(out, "dist", c.dist)
+	case batchOpRoute:
+		out = appendJSONInt32s(out, "dist", c.dist)
+		out = appendJSONInt32s(out, "off", c.off)
+		out = appendJSONInts(out, "nodes", c.nodes)
+	case batchOpFaultRoute:
+		out = appendJSONInt32s(out, "off", c.off)
+		out = appendJSONInts(out, "nodes", c.nodes)
+	case batchOpPaths:
+		out = appendJSONInt32s(out, "pair_off", c.off)
+		out = appendJSONInt32s(out, "path_off", c.poff)
+		out = appendJSONInts(out, "nodes", c.nodes)
+	}
+	return append(out, "}\n"...)
+}
+
+func appendJSONBytes(out []byte, name string, vals []uint8) []byte {
+	out = appendJSONName(out, name)
+	for i, v := range vals {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = strconv.AppendInt(out, int64(v), 10)
+	}
+	return append(out, ']')
+}
+
+func appendJSONInt32s(out []byte, name string, vals []int32) []byte {
+	out = appendJSONName(out, name)
+	for i, v := range vals {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = strconv.AppendInt(out, int64(v), 10)
+	}
+	return append(out, ']')
+}
+
+func appendJSONInts(out []byte, name string, vals []int) []byte {
+	out = appendJSONName(out, name)
+	for i, v := range vals {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = strconv.AppendInt(out, int64(v), 10)
+	}
+	return append(out, ']')
+}
+
+func appendJSONName(out []byte, name string) []byte {
+	out = append(out, ',', '"')
+	out = append(out, name...)
+	return append(out, '"', ':', '[')
+}
+
+// encodeBatchBin renders the response framing: a header frame (magic,
+// version, op, pair count, total path count) followed by one frame per
+// column in the README-documented order.
+func encodeBatchBin(c *batchColumns) []byte {
+	le := binary.LittleEndian
+	npairs := len(c.status)
+	totalPaths := 0
+	if c.op == batchOpPaths {
+		totalPaths = len(c.poff) - 1
+	}
+	size := 4 + 16 + (4 + npairs) + (4 + 4*len(c.dist)) + (4 + 4*len(c.off)) + (4 + 4*len(c.poff)) + (4 + 4*len(c.nodes))
+	out := make([]byte, 0, size)
+
+	out = le.AppendUint32(out, 16) // header frame
+	out = le.AppendUint32(out, batchBinMagic)
+	out = le.AppendUint16(out, batchBinVersion)
+	out = append(out, c.op, 0)
+	out = le.AppendUint32(out, uint32(npairs))
+	out = le.AppendUint32(out, uint32(totalPaths))
+
+	out = le.AppendUint32(out, uint32(npairs)) // status frame
+	out = append(out, c.status...)
+
+	if c.op == batchOpDist || c.op == batchOpRoute {
+		out = appendBinInt32Frame(out, c.dist)
+	}
+	switch c.op {
+	case batchOpRoute, batchOpFaultRoute:
+		out = appendBinInt32Frame(out, c.off)
+		out = appendBinIntFrame(out, c.nodes)
+	case batchOpPaths:
+		out = appendBinInt32Frame(out, c.off)
+		out = appendBinInt32Frame(out, c.poff)
+		out = appendBinIntFrame(out, c.nodes)
+	}
+	return out
+}
+
+func appendBinInt32Frame(out []byte, vals []int32) []byte {
+	out = binary.LittleEndian.AppendUint32(out, uint32(4*len(vals)))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint32(out, uint32(v))
+	}
+	return out
+}
+
+func appendBinIntFrame(out []byte, vals []int) []byte {
+	out = binary.LittleEndian.AppendUint32(out, uint32(4*len(vals)))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint32(out, uint32(v))
+	}
+	return out
+}
+
+func cacheState(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}

@@ -1,6 +1,7 @@
 package hbserve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,33 +26,48 @@ import (
 //     destination and requests cycle through those pairs, so after one
 //     lap every request is a cache hit — the warm-path number.
 //
-// Pacing is open-loop at a target QPS (a ticker dispatches to a bounded
-// worker pool), which is what exposes queueing once the service
-// saturates; latencies are measured per request and reported as
-// percentiles.
+// Pacing is open-loop at a target QPS (a catch-up dispatcher sends
+// whatever the elapsed time says is due, so the target is reachable well
+// past one request per timer tick), which is what exposes queueing once
+// the service saturates; latencies are measured per request and reported
+// as percentiles.
+//
+// Batch mode (Batch > 0) POSTs columnar /batch bodies of Batch pairs
+// each — prebuilt before the window opens so the client measures the
+// server, not its own encoder — in either codec, and reports pair
+// throughput next to request throughput. Comparing its routes_per_sec
+// against the single-query baseline is EXPERIMENTS.md E-BQ.
 
 // LoadConfig parameterises one load run.
 type LoadConfig struct {
 	BaseURL  string        // e.g. http://127.0.0.1:8080
 	M, N     int           // instance to query
-	Endpoint string        // "route" or "paths"
+	Endpoint string        // "route" or "paths"; batch mode: the op
 	Mix      string        // "uniform" or "permutation"
 	QPS      int           // target request rate
 	Duration time.Duration // measured window
 	Workers  int           // concurrent requesters; <= 0 means 32
 	Seed     int64
+	Batch    int    // pairs per request; 0 = single-query GETs
+	Codec    string // batch mode: "json" or "bin" ("" = json)
 }
 
 // LoadResult is the measured outcome of one (endpoint, mix) run.
 type LoadResult struct {
 	Endpoint    string  `json:"endpoint"`
 	Mix         string  `json:"mix"`
+	Batch       int     `json:"batch,omitempty"`
+	Codec       string  `json:"codec,omitempty"`
 	TargetQPS   int     `json:"target_qps"`
 	DurationSec float64 `json:"duration_sec"`
 	Requests    int     `json:"requests"`
 	Non2xx      int     `json:"non_2xx"`
 	AchievedQPS float64 `json:"achieved_qps"`
-	LatencyMS   struct {
+	// Pairs answered (single mode: one per 2xx request) and the
+	// resulting route throughput — the batch-vs-single comparison axis.
+	Pairs        int     `json:"pairs"`
+	RoutesPerSec float64 `json:"routes_per_sec"`
+	LatencyMS    struct {
 		P50 float64 `json:"p50"`
 		P90 float64 `json:"p90"`
 		P99 float64 `json:"p99"`
@@ -59,11 +75,17 @@ type LoadResult struct {
 	} `json:"latency_ms"`
 }
 
+// loadBatchBodies bounds how many distinct request bodies batch mode
+// prebuilds; beyond it the rotation repeats (batches over the cache
+// bound bypass the route cache, so repeats still measure compute).
+const loadBatchBodies = 128
+
 // Load runs one configured mix to completion.
 func Load(cfg LoadConfig) (LoadResult, error) {
 	res := LoadResult{
 		Endpoint:    cfg.Endpoint,
 		Mix:         cfg.Mix,
+		Batch:       cfg.Batch,
 		TargetQPS:   cfg.QPS,
 		DurationSec: cfg.Duration.Seconds(),
 	}
@@ -86,6 +108,20 @@ func Load(cfg LoadConfig) (LoadResult, error) {
 		return res, fmt.Errorf("hbserve: unknown mix %q (want uniform or permutation)", cfg.Mix)
 	}
 
+	var (
+		bodies [][]byte
+		ct     string
+	)
+	if cfg.Batch > 0 {
+		res.Codec = cfg.Codec
+		if res.Codec == "" {
+			res.Codec = "json"
+		}
+		if bodies, ct, err = makeBatchBodies(cfg, res.Codec, next); err != nil {
+			return res, err
+		}
+	}
+
 	client := &http.Client{Timeout: 10 * time.Second}
 	var (
 		mu        sync.Mutex
@@ -93,60 +129,74 @@ func Load(cfg LoadConfig) (LoadResult, error) {
 		non2xx    atomic.Int64
 		wg        sync.WaitGroup
 	)
+	base := strings.TrimRight(cfg.BaseURL, "/")
+	record := func(t0 time.Time, resp *http.Response, err error) {
+		lat := time.Since(t0)
+		if err != nil {
+			non2xx.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			non2xx.Add(1)
+		}
+		mu.Lock()
+		latencies = append(latencies, lat)
+		mu.Unlock()
+	}
+
 	jobs := make(chan [2]int, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for pair := range jobs {
-				url := fmt.Sprintf("%s/%s?m=%d&n=%d&u=%d&v=%d",
-					strings.TrimRight(cfg.BaseURL, "/"), cfg.Endpoint, cfg.M, cfg.N, pair[0], pair[1])
-				t0 := time.Now()
-				resp, err := client.Get(url)
-				lat := time.Since(t0)
-				if err != nil {
-					non2xx.Add(1)
+				if cfg.Batch > 0 {
+					t0 := time.Now()
+					resp, err := client.Post(base+"/batch", ct, bytes.NewReader(bodies[pair[0]]))
+					record(t0, resp, err)
 					continue
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode/100 != 2 {
-					non2xx.Add(1)
-				}
-				mu.Lock()
-				latencies = append(latencies, lat)
-				mu.Unlock()
+				url := fmt.Sprintf("%s/%s?m=%d&n=%d&u=%d&v=%d",
+					base, cfg.Endpoint, cfg.M, cfg.N, pair[0], pair[1])
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				record(t0, resp, err)
 			}
 		}()
 	}
 
-	interval := time.Second / time.Duration(cfg.QPS)
-	if interval <= 0 {
-		interval = time.Microsecond
-	}
-	ticker := time.NewTicker(interval)
-	deadline := time.Now().Add(cfg.Duration)
-	sent := 0
 	// Pair generation happens on the dispatch goroutine so the rng needs
-	// no lock; a full jobs channel sheds load (open-loop: the tick is
-	// dropped, not queued without bound).
-	for now := range ticker.C {
-		if now.After(deadline) {
-			break
+	// no lock; a full jobs channel sheds load (open-loop: the due request
+	// is dropped, not queued without bound).
+	body := 0
+	dispatch(cfg.QPS, cfg.Duration, func() bool {
+		var job [2]int
+		if cfg.Batch > 0 {
+			job = [2]int{body % len(bodies), 0}
+			body++
+		} else {
+			job = next()
 		}
 		select {
-		case jobs <- next():
-			sent++
+		case jobs <- job:
+			return true
 		default:
+			return false
 		}
-	}
-	ticker.Stop()
+	})
 	close(jobs)
 	wg.Wait()
 
 	res.Requests = len(latencies) + int(non2xx.Load())
 	res.Non2xx = int(non2xx.Load())
 	res.AchievedQPS = float64(res.Requests) / cfg.Duration.Seconds()
+	res.Pairs = res.Requests - res.Non2xx
+	if cfg.Batch > 0 {
+		res.Pairs *= cfg.Batch
+	}
+	res.RoutesPerSec = float64(res.Pairs) / cfg.Duration.Seconds()
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	if len(latencies) > 0 {
 		res.LatencyMS.P50 = ms(percentile(latencies, 0.50))
@@ -155,6 +205,75 @@ func Load(cfg LoadConfig) (LoadResult, error) {
 		res.LatencyMS.Max = ms(latencies[len(latencies)-1])
 	}
 	return res, nil
+}
+
+// dispatch paces offer() open-loop at qps for the duration: every
+// millisecond it offers however many requests the elapsed time says are
+// due, so targets far beyond the timer resolution are reachable. A
+// false return means the worker pool was saturated and the request was
+// shed; the catch-up burst after a stall is bounded so a long GC pause
+// cannot produce a thundering herd.
+func dispatch(qps int, duration time.Duration, offer func() bool) (offered, shed int) {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	start := time.Now()
+	deadline := start.Add(duration)
+	for now := range tick.C {
+		if now.After(deadline) {
+			return offered, shed
+		}
+		due := int(float64(qps) * now.Sub(start).Seconds())
+		if limit := offered + qps/100 + 64; due > limit {
+			due = limit
+		}
+		for offered < due {
+			if !offer() {
+				shed++
+			}
+			offered++
+		}
+	}
+	return offered, shed
+}
+
+// makeBatchBodies prebuilds the rotation of /batch request bodies for
+// one run, drawing pairs from the mix source.
+func makeBatchBodies(cfg LoadConfig, codec string, next func() [2]int) ([][]byte, string, error) {
+	if _, ok := batchOpCodes[cfg.Endpoint]; !ok {
+		return nil, "", fmt.Errorf("hbserve: batch load endpoint %q is not a batch op", cfg.Endpoint)
+	}
+	count := int(float64(cfg.QPS) * cfg.Duration.Seconds())
+	if count > loadBatchBodies {
+		count = loadBatchBodies
+	}
+	if count < 1 {
+		count = 1
+	}
+	bodies := make([][]byte, count)
+	src := make([]int, cfg.Batch)
+	dst := make([]int, cfg.Batch)
+	for k := range bodies {
+		for i := range src {
+			p := next()
+			src[i], dst[i] = p[0], p[1]
+		}
+		switch codec {
+		case "json":
+			bodies[k] = EncodeBatchJSONRequest(cfg.Endpoint, cfg.M, cfg.N, src, dst)
+		case "bin":
+			var err error
+			if bodies[k], err = EncodeBatchBinRequest(cfg.Endpoint, cfg.M, cfg.N, nil, src, dst); err != nil {
+				return nil, "", err
+			}
+		default:
+			return nil, "", fmt.Errorf("hbserve: unknown batch codec %q (want json or bin)", codec)
+		}
+	}
+	ct := ctJSON
+	if codec == "bin" {
+		ct = ctBatchBin
+	}
+	return bodies, ct, nil
 }
 
 // makePairSource returns a generator of (u,v) query pairs for the mix;
@@ -201,12 +320,33 @@ type BenchReport struct {
 	M       int          `json:"m"`
 	N       int          `json:"n"`
 	Results []LoadResult `json:"results"`
-	Cache   struct {
+	// BatchSpeedup is best batch routes_per_sec over best single-query
+	// routes_per_sec across the runs in Results; 0 when either side is
+	// missing. The E-BQ acceptance gate reads it.
+	BatchSpeedup float64 `json:"batch_speedup,omitempty"`
+	Cache        struct {
 		Hits    uint64  `json:"hits"`
 		Misses  uint64  `json:"misses"`
 		Dedups  uint64  `json:"dedups"`
 		HitRate float64 `json:"hit_rate"`
 	} `json:"cache"`
+}
+
+// ComputeBatchSpeedup fills BatchSpeedup from Results.
+func (b *BenchReport) ComputeBatchSpeedup() float64 {
+	var single, batch float64
+	for _, r := range b.Results {
+		switch {
+		case r.Batch > 0 && r.RoutesPerSec > batch:
+			batch = r.RoutesPerSec
+		case r.Batch == 0 && r.RoutesPerSec > single:
+			single = r.RoutesPerSec
+		}
+	}
+	if single > 0 && batch > 0 {
+		b.BatchSpeedup = batch / single
+	}
+	return b.BatchSpeedup
 }
 
 // TotalNon2xx sums error responses across all runs; the CI smoke gates
@@ -220,16 +360,21 @@ func (b *BenchReport) TotalNon2xx() int {
 }
 
 // ScrapeCacheStats fetches baseURL/metrics and fills b.Cache from the
-// hbd_route_cache_* families.
+// hbd_route_cache_* families. Errors name the endpoint so a failed
+// scrape in a load run is distinguishable from the load itself failing.
 func (b *BenchReport) ScrapeCacheStats(baseURL string) error {
-	resp, err := http.Get(strings.TrimRight(baseURL, "/") + "/metrics")
+	url := strings.TrimRight(baseURL, "/") + "/metrics"
+	resp, err := http.Get(url)
 	if err != nil {
-		return err
+		return fmt.Errorf("hbserve: scraping %s: %w", url, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return fmt.Errorf("hbserve: reading %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("hbserve: scraping %s: status %d", url, resp.StatusCode)
 	}
 	for _, line := range strings.Split(string(raw), "\n") {
 		var target *uint64

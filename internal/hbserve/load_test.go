@@ -74,6 +74,66 @@ func TestLoadAgainstLiveServer(t *testing.T) {
 	}
 }
 
+// TestBatchLoadAgainstLiveServer drives /batch through the load
+// generator in both codecs and cross-checks pair accounting against the
+// server's own batch counters.
+func TestBatchLoadAgainstLiveServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed load run in -short")
+	}
+	s := NewServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rep := &BenchReport{M: 1, N: 3}
+	single, err := Load(LoadConfig{
+		BaseURL: ts.URL, M: 1, N: 3, Endpoint: "route", Mix: "uniform",
+		QPS: 200, Duration: 400 * time.Millisecond, Workers: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Results = append(rep.Results, single)
+
+	const batch = 64
+	for _, codec := range []string{"json", "bin"} {
+		res, err := Load(LoadConfig{
+			BaseURL: ts.URL, M: 1, N: 3, Endpoint: "route", Mix: "uniform",
+			QPS: 200, Duration: 400 * time.Millisecond, Workers: 8, Seed: 2,
+			Batch: batch, Codec: codec,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		if res.Non2xx != 0 {
+			t.Fatalf("%s: %d non-2xx responses", codec, res.Non2xx)
+		}
+		if res.Requests == 0 || res.Pairs != res.Requests*batch {
+			t.Fatalf("%s: %d requests, %d pairs (want %d)", codec, res.Requests, res.Pairs, res.Requests*batch)
+		}
+		if res.RoutesPerSec <= 0 || res.Batch != batch || res.Codec != codec {
+			t.Fatalf("%s: result %+v", codec, res)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+
+	// One batched request answers `batch` pairs, so pair throughput must
+	// beat the single-query baseline even in a short window.
+	if sp := rep.ComputeBatchSpeedup(); sp <= 1 {
+		t.Errorf("batch speedup %.2f, want > 1", sp)
+	}
+	// The server counted every pair the client counted.
+	wantPairs := uint64(0)
+	for _, r := range rep.Results {
+		if r.Batch > 0 {
+			wantPairs += uint64(r.Pairs)
+		}
+	}
+	if got := s.Metrics().BatchPairs(); got != wantPairs {
+		t.Errorf("server counted %d batch pairs, client %d", got, wantPairs)
+	}
+}
+
 func TestLoadValidation(t *testing.T) {
 	if _, err := Load(LoadConfig{QPS: 0, Duration: time.Second}); err == nil {
 		t.Error("accepted qps=0")
@@ -83,6 +143,42 @@ func TestLoadValidation(t *testing.T) {
 	}
 	if _, err := Load(LoadConfig{QPS: 10, Duration: time.Second, M: 1, N: 2, Mix: "uniform", BaseURL: "http://x"}); err == nil {
 		t.Error("accepted invalid dims")
+	}
+	if _, err := Load(LoadConfig{QPS: 10, Duration: time.Second, M: 1, N: 3, Mix: "uniform", BaseURL: "http://x",
+		Batch: 8, Codec: "xml"}); err == nil {
+		t.Error("accepted unknown batch codec")
+	}
+	if _, err := Load(LoadConfig{QPS: 10, Duration: time.Second, M: 1, N: 3, Mix: "uniform", BaseURL: "http://x",
+		Batch: 8, Endpoint: "conformance"}); err == nil {
+		t.Error("accepted non-batch op endpoint in batch mode")
+	}
+}
+
+// TestPercentileEdgeCases: the percentile helper must stay total on
+// empty and single-element windows (an all-failure run records no
+// latencies).
+func TestPercentileEdgeCases(t *testing.T) {
+	if p := percentile(nil, 0.99); p != 0 {
+		t.Errorf("percentile(nil) = %v", p)
+	}
+	one := []time.Duration{5 * time.Millisecond}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if p := percentile(one, q); p != one[0] {
+			t.Errorf("percentile(one, %v) = %v", q, p)
+		}
+	}
+}
+
+// TestDispatchReachesHighQPS: the catch-up dispatcher must hit targets
+// far beyond one request per millisecond tick (the old ticker-per-request
+// design capped out at ~1k/s).
+func TestDispatchReachesHighQPS(t *testing.T) {
+	offered, shed := dispatch(20000, 200*time.Millisecond, func() bool { return true })
+	if shed != 0 {
+		t.Fatalf("shed %d with an always-accepting sink", shed)
+	}
+	if offered < 2000 {
+		t.Fatalf("offered %d requests at 20k qps over 200ms, want thousands", offered)
 	}
 }
 

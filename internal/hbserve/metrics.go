@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,14 +26,25 @@ type Metrics struct {
 	panics    atomic.Uint64 // handler panics recovered by instrument
 	shed      atomic.Uint64 // requests refused by load shedding
 	start     time.Time
+
+	// /batch instrumentation: request and pair throughput per codec+op
+	// (the codec split is what the batch-vs-single benchmark reads), and
+	// per-op compute latency (excluding HTTP parse/encode captured by the
+	// endpoint histogram above).
+	batchRequests map[string]*atomic.Uint64    // "codec\xffop" -> requests
+	batchPairs    map[string]*atomic.Uint64    // "codec\xffop" -> pairs answered
+	batchDur      map[string]*latencyHistogram // op -> compute latency
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests:  make(map[string]*atomic.Uint64),
-		durations: make(map[string]*latencyHistogram),
-		start:     time.Now(),
+		requests:      make(map[string]*atomic.Uint64),
+		durations:     make(map[string]*latencyHistogram),
+		batchRequests: make(map[string]*atomic.Uint64),
+		batchPairs:    make(map[string]*atomic.Uint64),
+		batchDur:      make(map[string]*latencyHistogram),
+		start:         time.Now(),
 	}
 }
 
@@ -58,12 +70,7 @@ func (m *Metrics) RequestStart() { m.inflight.Add(1) }
 func (m *Metrics) RequestEnd(endpoint string, code int, elapsed time.Duration) {
 	m.inflight.Add(-1)
 	m.counter(endpoint, code).Add(1)
-	h := m.histogram(endpoint)
-	sec := elapsed.Seconds()
-	i := sort.SearchFloat64s(latencyBuckets, sec)
-	h.buckets[i].Add(1)
-	h.sumNS.Add(uint64(elapsed.Nanoseconds()))
-	h.count.Add(1)
+	m.histogram(endpoint).observe(elapsed)
 }
 
 // InFlight returns the current in-flight request count.
@@ -80,6 +87,52 @@ func (m *Metrics) LoadShed() { m.shed.Add(1) }
 
 // Sheds returns the load-shed count.
 func (m *Metrics) Sheds() uint64 { return m.shed.Load() }
+
+// BatchObserve records one answered /batch request: pairs answered
+// under the codec+op labels, and the op's compute+encode latency.
+func (m *Metrics) BatchObserve(codec, op string, pairs int, elapsed time.Duration) {
+	key := codec + "\xff" + op
+	m.labelled(&m.batchRequests, key).Add(1)
+	m.labelled(&m.batchPairs, key).Add(uint64(pairs))
+	m.mu.Lock()
+	h, ok := m.batchDur[op]
+	if !ok {
+		h = &latencyHistogram{}
+		m.batchDur[op] = h
+	}
+	m.mu.Unlock()
+	h.observe(elapsed)
+}
+
+// BatchPairs returns the total pairs answered by /batch across codecs
+// and ops (the load generator asserts on it).
+func (m *Metrics) BatchPairs() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := uint64(0)
+	for _, c := range m.batchPairs {
+		total += c.Load()
+	}
+	return total
+}
+
+func (m *Metrics) labelled(set *map[string]*atomic.Uint64, key string) *atomic.Uint64 {
+	m.mu.Lock()
+	c, ok := (*set)[key]
+	if !ok {
+		c = &atomic.Uint64{}
+		(*set)[key] = c
+	}
+	m.mu.Unlock()
+	return c
+}
+
+func (h *latencyHistogram) observe(elapsed time.Duration) {
+	i := sort.SearchFloat64s(latencyBuckets, elapsed.Seconds())
+	h.buckets[i].Add(1)
+	h.sumNS.Add(uint64(elapsed.Nanoseconds()))
+	h.count.Add(1)
+}
 
 func (m *Metrics) counter(endpoint string, code int) *atomic.Uint64 {
 	key := endpoint + "\xff" + strconv.Itoa(code)
@@ -170,6 +223,54 @@ func (m *Metrics) WriteTo(w io.Writer, cache *RouteCache, pool *Pool) {
 		fmt.Fprintf(w, "hbd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
 		fmt.Fprintf(w, "hbd_request_seconds_sum{endpoint=%q} %g\n", ep, float64(h.sumNS.Load())/1e9)
 		fmt.Fprintf(w, "hbd_request_seconds_count{endpoint=%q} %d\n", ep, h.count.Load())
+	}
+
+	m.mu.Lock()
+	batchKeys := make([]string, 0, len(m.batchRequests))
+	for k := range m.batchRequests {
+		batchKeys = append(batchKeys, k)
+	}
+	batchOps := make([]string, 0, len(m.batchDur))
+	for k := range m.batchDur {
+		batchOps = append(batchOps, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(batchKeys)
+	sort.Strings(batchOps)
+
+	fmt.Fprintf(w, "# HELP hbd_batch_requests_total Batch requests answered, by codec and op.\n# TYPE hbd_batch_requests_total counter\n")
+	for _, k := range batchKeys {
+		m.mu.Lock()
+		c := m.batchRequests[k]
+		m.mu.Unlock()
+		codec, op, _ := strings.Cut(k, "\xff")
+		fmt.Fprintf(w, "hbd_batch_requests_total{codec=%q,op=%q} %d\n", codec, op, c.Load())
+	}
+	fmt.Fprintf(w, "# HELP hbd_batch_pairs_total Pairs answered by /batch, by codec and op.\n# TYPE hbd_batch_pairs_total counter\n")
+	for _, k := range batchKeys {
+		m.mu.Lock()
+		c := m.batchPairs[k]
+		m.mu.Unlock()
+		if c == nil {
+			continue
+		}
+		codec, op, _ := strings.Cut(k, "\xff")
+		fmt.Fprintf(w, "hbd_batch_pairs_total{codec=%q,op=%q} %d\n", codec, op, c.Load())
+	}
+	fmt.Fprintf(w, "# HELP hbd_batch_op_seconds Batch compute+encode latency, by op.\n# TYPE hbd_batch_op_seconds histogram\n")
+	for _, op := range batchOps {
+		m.mu.Lock()
+		h := m.batchDur[op]
+		m.mu.Unlock()
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "hbd_batch_op_seconds_bucket{op=%q,le=%q} %d\n", op, formatFloat(ub), cum)
+		}
+		cum += h.buckets[len0].Load()
+		fmt.Fprintf(w, "hbd_batch_op_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", op, cum)
+		fmt.Fprintf(w, "hbd_batch_op_seconds_sum{op=%q} %g\n", op, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(w, "hbd_batch_op_seconds_count{op=%q} %d\n", op, h.count.Load())
 	}
 
 	if cache != nil {

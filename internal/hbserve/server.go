@@ -51,8 +51,16 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 
-	timeout     time.Duration // per-request deadline
-	maxInFlight int64         // load-shedding bound
+	timeout      time.Duration // per-request deadline
+	maxInFlight  int64         // load-shedding bound
+	batchWorkers int           // /batch kernel fan-out; <= 0 means GOMAXPROCS
+
+	// snapshots holds mmap-loaded precomputed artifacts keyed by dims;
+	// /estimate answers covered instances from the pre-rendered body
+	// instead of sampling. Written by LoadSnapshots, read on the hot
+	// path.
+	snapMu    sync.RWMutex
+	snapshots map[Dims]*snapshotEntry
 
 	// scratch pools the BFS kernel state used by verify=1 requests, so
 	// verification costs one traversal and zero steady-state
@@ -96,6 +104,9 @@ type Config struct {
 	// instrumented requests are already in flight; 0 means
 	// DefaultMaxInFlight, < 0 disables shedding.
 	MaxInFlight int
+	// BatchWorkers bounds the per-request fan-out of the /batch routing
+	// kernel; 0 means GOMAXPROCS.
+	BatchWorkers int
 }
 
 // DefaultCacheSize holds rendered /route and /paths bodies; entries
@@ -131,16 +142,19 @@ func NewServer(cfg Config) *Server {
 		maxInFlight = DefaultMaxInFlight
 	}
 	s := &Server{
-		pool:        &Pool{Max: cfg.PoolMax, MaxOrder: cfg.MaxOrder, ImplicitMaxOrder: cfg.ImplicitMaxOrder},
-		cache:       NewRouteCache(size, cfg.CacheShard),
-		metrics:     NewMetrics(),
-		mux:         http.NewServeMux(),
-		timeout:     timeout,
-		maxInFlight: maxInFlight,
-		routers:     make(map[Dims]*instanceRouter),
+		pool:         &Pool{Max: cfg.PoolMax, MaxOrder: cfg.MaxOrder, ImplicitMaxOrder: cfg.ImplicitMaxOrder},
+		cache:        NewRouteCache(size, cfg.CacheShard),
+		metrics:      NewMetrics(),
+		mux:          http.NewServeMux(),
+		timeout:      timeout,
+		maxInFlight:  maxInFlight,
+		batchWorkers: cfg.BatchWorkers,
+		routers:      make(map[Dims]*instanceRouter),
+		snapshots:    make(map[Dims]*snapshotEntry),
 	}
 	s.scratch.New = func() any { return graph.NewScratch(0) }
 	s.mux.HandleFunc("/route", s.instrument("route", s.handleRoute))
+	s.mux.HandleFunc("/batch", s.instrument("batch", s.handleBatch))
 	s.mux.HandleFunc("/paths", s.instrument("paths", s.handlePaths))
 	s.mux.HandleFunc("/faultroute", s.instrument("faultroute", s.handleFaultRoute))
 	s.mux.HandleFunc("/info", s.instrument("info", s.handleInfo))
@@ -286,9 +300,27 @@ func badRequest(format string, args ...any) error {
 	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// setResponseHeaders is the single place response headers are
+// assembled: every handler path goes through it, so Content-Type and
+// X-Cache can never drift between the cache-hit and cache-miss paths.
+// cache is "" for uncached responses (no X-Cache header).
+func setResponseHeaders(w http.ResponseWriter, contentType, cache string) {
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	if cache != "" {
+		h.Set("X-Cache", cache)
+	}
+}
+
+// writeBody writes pre-rendered bytes under the shared header helper.
+func writeBody(w http.ResponseWriter, contentType, cache string, body []byte) {
+	setResponseHeaders(w, contentType, cache)
+	w.Write(body)
+}
+
 // writeJSON writes v as JSON; writeErr maps errors to {"error": ...}.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	setResponseHeaders(w, ctJSON, "")
 	enc := json.NewEncoder(w)
 	enc.Encode(v)
 }
@@ -301,7 +333,7 @@ func writeErr(w http.ResponseWriter, err error) {
 	} else if strings.Contains(err.Error(), "hbserve:") {
 		code = http.StatusBadRequest
 	}
-	w.Header().Set("Content-Type", "application/json")
+	setResponseHeaders(w, ctJSON, "")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
@@ -309,13 +341,7 @@ func writeErr(w http.ResponseWriter, err error) {
 // writeCached writes pre-rendered JSON bytes (already newline-
 // terminated by the encoder that produced them).
 func writeCached(w http.ResponseWriter, body []byte, hit bool) {
-	w.Header().Set("Content-Type", "application/json")
-	if hit {
-		w.Header().Set("X-Cache", "hit")
-	} else {
-		w.Header().Set("X-Cache", "miss")
-	}
-	w.Write(body)
+	writeBody(w, ctJSON, cacheState(hit), body)
 }
 
 // query parsing ------------------------------------------------------
@@ -718,6 +744,15 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	// A loaded snapshot makes the answer exact and O(1); live=1 opts back
+	// into the sampled path (for comparing the estimator against truth).
+	if !boolParam(r, "live") {
+		if e := s.snapshotFor(d); e != nil {
+			w.Header().Set("X-Snapshot", "hit")
+			writeBody(w, ctJSON, "", e.estimateBody)
+			return
+		}
 	}
 	samples, err := intParam(r, "samples", defaultEstimateSamples)
 	if err != nil {

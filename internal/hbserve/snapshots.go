@@ -1,0 +1,120 @@
+package hbserve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/snapshot"
+)
+
+// Snapshot serving: hbd -snapshotdir points at a directory of
+// *.hbsnap artifacts produced by hbtables -snapshot. Each one carries
+// the exact all-pairs distance histogram, per-node eccentricities and
+// the Theorem 5 path table for one HB(m,n), checksum- and
+// version-gated, mmap-loaded where the platform allows. For covered
+// dims, /estimate stops sampling: the answer is exact, O(1), and
+// rendered once at load time so every response is byte-identical.
+
+// snapshotEntry is one loaded artifact plus its pre-rendered /estimate
+// body.
+type snapshotEntry struct {
+	snap         *snapshot.Snapshot
+	estimateBody []byte
+}
+
+// exactEstimateResponse is the snapshot-backed /estimate answer. It
+// deliberately shares field names with estimateResponse where the
+// semantics coincide and adds "exact":true so clients can tell a
+// precomputed answer from a sampled one.
+type exactEstimateResponse struct {
+	M     int  `json:"m"`
+	N     int  `json:"n"`
+	Order int  `json:"order"`
+	Exact bool `json:"exact"`
+
+	Diameter        int `json:"diameter"`
+	DiameterFormula int `json:"diameter_formula"`
+	EccMin          int `json:"ecc_min"`
+	EccMax          int `json:"ecc_max"`
+
+	MeanDistance float64   `json:"mean_distance"`
+	Hist         []int64   `json:"hist"`
+	Fractions    []float64 `json:"fractions"`
+}
+
+// renderEstimate builds the exact /estimate body for a loaded snapshot.
+func renderEstimate(s *snapshot.Snapshot, diameterFormula int) ([]byte, error) {
+	lo, hi := s.EccentricityRange()
+	return marshalBody(exactEstimateResponse{
+		M: s.M, N: s.N, Order: s.Order,
+		Exact:           true,
+		Diameter:        s.Diameter,
+		DiameterFormula: diameterFormula,
+		EccMin:          lo,
+		EccMax:          hi,
+		MeanDistance:    s.MeanDistance(),
+		Hist:            s.Hist,
+		Fractions:       s.Fractions(),
+	})
+}
+
+// LoadSnapshots loads every *.hbsnap under dir and registers it for
+// serving. It returns how many artifacts were loaded; any unreadable,
+// corrupt or wrong-version file aborts the load with an error naming
+// the file, so a bad deploy fails at startup rather than serving a
+// partial table.
+func (s *Server) LoadSnapshots(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("hbserve: snapshot dir: %w", err)
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), snapshot.FileSuffix) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		snap, err := snapshot.Load(path)
+		if err != nil {
+			return loaded, fmt.Errorf("hbserve: snapshot %s: %w", path, err)
+		}
+		d := Dims{M: snap.M, N: snap.N}
+		top, err := s.pool.Get(d)
+		if err != nil {
+			snap.Close()
+			return loaded, fmt.Errorf("hbserve: snapshot %s: %w", path, err)
+		}
+		body, err := renderEstimate(snap, top.DiameterFormula())
+		if err != nil {
+			snap.Close()
+			return loaded, fmt.Errorf("hbserve: snapshot %s: %w", path, err)
+		}
+		s.snapMu.Lock()
+		if prev := s.snapshots[d]; prev != nil {
+			prev.snap.Close()
+		}
+		s.snapshots[d] = &snapshotEntry{snap: snap, estimateBody: body}
+		s.snapMu.Unlock()
+		loaded++
+	}
+	return loaded, nil
+}
+
+// CloseSnapshots unmaps every loaded snapshot (shutdown path).
+func (s *Server) CloseSnapshots() {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	for d, e := range s.snapshots {
+		e.snap.Close()
+		delete(s.snapshots, d)
+	}
+}
+
+// snapshotFor returns the loaded snapshot covering d, or nil.
+func (s *Server) snapshotFor(d Dims) *snapshotEntry {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
+	return s.snapshots[d]
+}

@@ -1,0 +1,180 @@
+package hbserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+// httpResp is get() plus headers, which the snapshot tests assert on.
+type httpResp struct {
+	code   int
+	header http.Header
+	body   []byte
+}
+
+func httpGet(url string) (*httpResp, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &httpResp{code: resp.StatusCode, header: resp.Header, body: body}, nil
+}
+
+// writeSnapshotDir builds snapshots for the given dims into one temp
+// directory, exactly the artifact layout hbtables -snapshot produces.
+func writeSnapshotDir(t *testing.T, dims ...[2]int) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, d := range dims {
+		snap, err := snapshot.Build(core.MustNew(d[0], d[1]), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("hb_%d_%d%s", d[0], d[1], snapshot.FileSuffix)
+		if err := snap.WriteFile(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestEstimateServedFromSnapshot is the serving-layer differential
+// gate: the /estimate body for a covered instance must be byte-identical
+// to one rendered from a fresh live computation.
+func TestEstimateServedFromSnapshot(t *testing.T) {
+	dir := writeSnapshotDir(t, [2]int{2, 3}, [2]int{1, 3})
+	s, ts := newTestServer(t)
+	n, err := s.LoadSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d snapshots, want 2", n)
+	}
+
+	for _, d := range [][2]int{{2, 3}, {1, 3}} {
+		hb := core.MustNew(d[0], d[1])
+		fresh, err := snapshot.Build(hb, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := renderEstimate(fresh, hb.DiameterFormula())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		resp, err := httpGet(ts.URL + fmt.Sprintf("/estimate?m=%d&n=%d", d[0], d[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.code != 200 {
+			t.Fatalf("HB(%d,%d): status %d: %s", d[0], d[1], resp.code, resp.body)
+		}
+		if resp.header.Get("X-Snapshot") != "hit" {
+			t.Fatalf("HB(%d,%d): X-Snapshot %q, want hit", d[0], d[1], resp.header.Get("X-Snapshot"))
+		}
+		if !bytes.Equal(resp.body, want) {
+			t.Fatalf("HB(%d,%d): served body diverges from live-computed render:\n got %s\nwant %s",
+				d[0], d[1], resp.body, want)
+		}
+		var decoded exactEstimateResponse
+		if err := json.Unmarshal(resp.body, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		if !decoded.Exact || decoded.Diameter != fresh.Diameter || decoded.Order != hb.Order() {
+			t.Fatalf("HB(%d,%d): decoded %+v", d[0], d[1], decoded)
+		}
+		// The paper's formula must agree with the exhaustive diameter on
+		// snapshot-covered instances.
+		if decoded.Diameter != decoded.DiameterFormula {
+			t.Errorf("HB(%d,%d): exact diameter %d, formula %d", d[0], d[1], decoded.Diameter, decoded.DiameterFormula)
+		}
+	}
+}
+
+// TestEstimateLiveOverride: live=1 must bypass the snapshot and answer
+// with the sampled estimator; uncovered dims always sample.
+func TestEstimateLiveOverride(t *testing.T) {
+	dir := writeSnapshotDir(t, [2]int{2, 3})
+	s, ts := newTestServer(t)
+	if _, err := s.LoadSnapshots(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := httpGet(ts.URL + "/estimate?m=2&n=3&live=1&samples=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.code != 200 || resp.header.Get("X-Snapshot") != "" {
+		t.Fatalf("live=1: status %d, X-Snapshot %q", resp.code, resp.header.Get("X-Snapshot"))
+	}
+	var sampled estimateResponse
+	if err := json.Unmarshal(resp.body, &sampled); err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Samples != 64 {
+		t.Fatalf("live=1 answered with %d samples, want the sampled path", sampled.Samples)
+	}
+
+	resp, err = httpGet(ts.URL + "/estimate?m=1&n=3&samples=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.code != 200 || resp.header.Get("X-Snapshot") != "" {
+		t.Fatalf("uncovered dims: status %d, X-Snapshot %q", resp.code, resp.header.Get("X-Snapshot"))
+	}
+}
+
+// TestLoadSnapshotsRejectsCorrupt: a corrupt artifact aborts the load
+// with an error naming the file.
+func TestLoadSnapshotsRejectsCorrupt(t *testing.T) {
+	dir := writeSnapshotDir(t, [2]int{1, 3})
+	name := filepath.Join(dir, "bad"+snapshot.FileSuffix)
+	good, err := os.ReadFile(filepath.Join(dir, "hb_1_3"+snapshot.FileSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 1
+	if err := os.WriteFile(name, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewServer(Config{})
+	if _, err := s.LoadSnapshots(dir); err == nil {
+		t.Fatal("corrupt snapshot dir loaded")
+	}
+	if _, err := s.LoadSnapshots(filepath.Join(dir, "absent")); err == nil {
+		t.Fatal("absent snapshot dir loaded")
+	}
+	// Non-snapshot files are ignored, snapshots still load.
+	dir2 := writeSnapshotDir(t, [2]int{1, 3})
+	if err := os.WriteFile(filepath.Join(dir2, "README.txt"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.LoadSnapshots(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d snapshots, want 1", n)
+	}
+	s.CloseSnapshots()
+	if s.snapshotFor(Dims{M: 1, N: 3}) != nil {
+		t.Fatal("snapshot survives CloseSnapshots")
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !linux && !darwin && !freebsd && !netbsd && !openbsd
+
+package snapshot
+
+import "os"
+
+// readFileMapped on platforms without the mmap syscall surface reads
+// the whole file; callers see an unmapped snapshot.
+func readFileMapped(path string) (data []byte, mapped bool, err error) {
+	data, err = os.ReadFile(path)
+	return data, false, err
+}
+
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,33 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package snapshot
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// readFileMapped maps path read-only, falling back to a plain read when
+// the mapping fails (empty files, filesystems without mmap support).
+func readFileMapped(path string) (data []byte, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := fi.Size()
+	if size > 0 && int64(int(size)) == size {
+		if m, merr := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED); merr == nil {
+			return m, true, nil
+		}
+	}
+	data, err = io.ReadAll(f)
+	return data, false, err
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }
