@@ -5,6 +5,11 @@
 //	hbd -addr :8080                          serve queries
 //	hbd -mode load -url http://127.0.0.1:8080 -m 2 -n 4 \
 //	    -qps 500 -duration 3s -out BENCH_serve.json     replay load mixes
+//	hbd -mode router -addr :8090 \
+//	    -replicas http://127.0.0.1:9001,http://127.0.0.1:9002,http://127.0.0.1:9003
+//	                                         shard queries across a fleet
+//	hbd -mode clusterload -router http://127.0.0.1:8090 \
+//	    -replicas ... -out BENCH_cluster.json            fleet-level load
 //
 // Endpoints (all GET, JSON responses):
 //
@@ -48,7 +53,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hbd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	mode := fs.String("mode", "serve", "serve | load")
+	mode := fs.String("mode", "serve", "serve | load | router | clusterload")
 	addr := fs.String("addr", ":8080", "serve: listen address")
 	poolMax := fs.Int("pool", 0, "serve: max resident HB instances (0 = default)")
 	cacheSize := fs.Int("cache", 0, "serve: route-cache entries (0 = default, -1 disables)")
@@ -74,6 +79,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	batch := fs.Int("batch", 0, "load: also run /batch with this many pairs per request (0 disables)")
 	codec := fs.String("codec", "bin", "load: /batch codec (json or bin)")
 	batchQPS := fs.Int("batchqps", 0, "load: /batch request rate (0 = qps, i.e. batch× the single-query pair rate)")
+
+	replicas := fs.String("replicas", "", "router/clusterload: comma-separated replica base URLs")
+	vnodes := fs.Int("vnodes", 0, "router: virtual nodes per replica on the hash ring (0 = default)")
+	queueDepth := fs.Int("queue", 0, "router: bounded forward queue depth (0 = default, negative disables)")
+	attempts := fs.Int("attempts", 0, "router: max distinct replicas tried per request (0 = default)")
+	probeInterval := fs.Duration("probeinterval", 0, "router: health probe cadence (0 = default)")
+	probeTimeout := fs.Duration("probetimeout", 0, "router: per-probe deadline (0 = default)")
+	eject := fs.Int("eject", 0, "router: consecutive failures before ejection (0 = default)")
+	readmit := fs.Int("readmit", 0, "router: consecutive probe successes before re-admission (0 = default)")
+
+	router := fs.String("router", "http://127.0.0.1:8090", "clusterload: router base URL")
+	shedBudget := fs.Float64("shedbudget", 0, "clusterload: allowed non-2xx fraction on the router leg (0 = default 1%, negative = zero tolerance)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -181,10 +198,90 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 
+	case "router":
+		rt, err := hbserve.NewRouter(hbserve.ClusterConfig{
+			Replicas:       splitList(*replicas),
+			VNodes:         *vnodes,
+			QueueDepth:     *queueDepth,
+			MaxAttempts:    *attempts,
+			ForwardTimeout: *timeout,
+			ProbeInterval:  *probeInterval,
+			ProbeTimeout:   *probeTimeout,
+			EjectAfter:     *eject,
+			ReadmitAfter:   *readmit,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "hbd: %v\n", err)
+			return 2
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		fmt.Fprintf(stdout, "hbd: routing on %s over %d replicas (SIGTERM drains in-flight requests)\n",
+			*addr, len(splitList(*replicas)))
+		if err := rt.ListenAndServe(ctx, *addr, *grace); err != nil {
+			fmt.Fprintf(stderr, "hbd: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "hbd: drained cleanly")
+		return 0
+
+	case "clusterload":
+		rep, err := hbserve.LoadCluster(hbserve.ClusterLoadConfig{
+			RouterURL:  *router,
+			Replicas:   splitList(*replicas),
+			M:          *m,
+			N:          *n,
+			Endpoint:   firstOr(splitList(*endpoints), "route"),
+			Mix:        firstOr(splitList(*mixes), "uniform"),
+			QPS:        *qps,
+			Duration:   *duration,
+			Workers:    *workers,
+			Seed:       *seed,
+			ShedBudget: *shedBudget,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "hbd: clusterload: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "hbd: router leg %6d req  %8.1f qps  p50 %.3fms  p99 %.3fms  non-2xx %d (shed %d, retries %d)\n",
+			rep.RouterResult.Requests, rep.RouterResult.AchievedQPS,
+			rep.RouterResult.LatencyMS.P50, rep.RouterResult.LatencyMS.P99,
+			rep.RouterResult.Non2xx, rep.RouterShed, rep.RouterRetry)
+		for _, s := range rep.Share {
+			fmt.Fprintf(stdout, "hbd:   %-28s forwarded %6d (%.1f%%)\n", s.URL, s.Forwarded, 100*s.Share)
+		}
+		fmt.Fprintf(stdout, "hbd: aggregate %.0f routes/s across %d legs\n",
+			rep.AggregateRoutesPerSec, 1+len(rep.Direct))
+		if *out != "" {
+			path := *out
+			if path == "BENCH_serve.json" {
+				path = "BENCH_cluster.json" // load-mode default doesn't fit here
+			}
+			if err := rep.WriteFile(path); err != nil {
+				fmt.Fprintf(stderr, "hbd: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "hbd: wrote %s\n", path)
+		}
+		if !rep.WithinBudget {
+			fmt.Fprintf(stderr, "hbd: router leg outside shed budget: %d/%d non-2xx (budget %.3f)\n",
+				rep.RouterResult.Non2xx, rep.RouterResult.Requests, rep.ShedBudget)
+			return 1
+		}
+		return 0
+
 	default:
-		fmt.Fprintf(stderr, "hbd: unknown mode %q (want serve or load)\n", *mode)
+		fmt.Fprintf(stderr, "hbd: unknown mode %q (want serve, load, router, or clusterload)\n", *mode)
 		return 2
 	}
+}
+
+// firstOr returns the first element of a flag list, or def if empty.
+func firstOr(list []string, def string) string {
+	if len(list) > 0 {
+		return list[0]
+	}
+	return def
 }
 
 // splitList splits a comma-separated flag, dropping empties.

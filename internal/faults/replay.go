@@ -1,0 +1,41 @@
+package faults
+
+import (
+	"context"
+	"time"
+)
+
+// ReplayTimed replays a schedule in wall-clock time: event cycles map
+// to start + Cycle*tick, and apply runs in schedule order at (or as
+// soon after as the scheduler allows) each event's instant. It is the
+// bridge between the cycle-indexed generators in this package and
+// components that live in real time — the hbd cluster tier uses it to
+// kill and restart serving replicas mid-load from the same churn
+// schedules the simulators replay cycle by cycle.
+//
+// apply runs on the calling goroutine; a cancelled context stops the
+// replay between events. The returned count is the number of events
+// applied.
+func ReplayTimed(ctx context.Context, s Schedule, tick time.Duration, apply func(Event)) int {
+	sorted := append(Schedule(nil), s...)
+	sorted.Sort()
+	start := time.Now()
+	applied := 0
+	for _, e := range sorted {
+		due := start.Add(time.Duration(e.Cycle) * tick)
+		if wait := time.Until(due); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return applied
+			case <-t.C:
+			}
+		} else if ctx.Err() != nil {
+			return applied
+		}
+		apply(e)
+		applied++
+	}
+	return applied
+}

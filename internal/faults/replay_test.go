@@ -1,0 +1,62 @@
+package faults
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestReplayTimedOrderAndCount(t *testing.T) {
+	// Deliberately unsorted input: ReplayTimed must sort before replay.
+	s := Schedule{
+		{Cycle: 4, Node: 1, Fail: false},
+		{Cycle: 0, Node: 1, Fail: true},
+		{Cycle: 2, Node: 2, Fail: true},
+	}
+	var got []Event
+	start := time.Now()
+	n := ReplayTimed(context.Background(), s, 2*time.Millisecond, func(e Event) {
+		got = append(got, e)
+	})
+	elapsed := time.Since(start)
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("applied %d events (%d recorded), want 3", n, len(got))
+	}
+	want := Schedule{
+		{Cycle: 0, Node: 1, Fail: true},
+		{Cycle: 2, Node: 2, Fail: true},
+		{Cycle: 4, Node: 1, Fail: false},
+	}
+	for i, e := range want {
+		if got[i] != e {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], e)
+		}
+	}
+	// The last event is due at 4 ticks = 8ms; the replay cannot finish
+	// before that instant.
+	if elapsed < 8*time.Millisecond {
+		t.Errorf("replay finished in %v, before the last event's due time", elapsed)
+	}
+}
+
+func TestReplayTimedCancellation(t *testing.T) {
+	s := Schedule{
+		{Cycle: 0, Node: 0, Fail: true},
+		{Cycle: 1000, Node: 0, Fail: false}, // far in the future
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := ReplayTimed(ctx, s, 10*time.Millisecond, func(e Event) {
+		cancel() // cancel mid-replay: the distant recover must not run
+	})
+	if n != 1 {
+		t.Fatalf("applied %d events after mid-replay cancel, want 1", n)
+	}
+}
+
+func TestReplayTimedEmpty(t *testing.T) {
+	if n := ReplayTimed(context.Background(), nil, time.Millisecond, func(Event) {
+		t.Error("apply called on an empty schedule")
+	}); n != 0 {
+		t.Errorf("applied %d events from an empty schedule", n)
+	}
+}

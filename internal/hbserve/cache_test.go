@@ -235,6 +235,95 @@ func TestPoolConcurrentGet(t *testing.T) {
 	}
 }
 
+// TestPoolErrorEntriesNotResident: a failed construction must not stay
+// resident — before the fix the entry kept built=true with top=nil, so
+// it counted in Len, occupied an LRU slot that could evict a real
+// instance, and pinned the error for every later Get of those dims.
+func TestPoolErrorEntriesNotResident(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	p := &Pool{Max: 2, construct: func(d Dims) (core.Topology, error) {
+		if fail.Load() {
+			return nil, errors.New("construct: transient failure")
+		}
+		return core.New(d.M, d.N)
+	}}
+
+	d := Dims{M: 1, N: 3}
+	if _, err := p.Get(d); err == nil {
+		t.Fatal("Get succeeded under a failing construct")
+	}
+	if p.Len() != 0 {
+		t.Errorf("failed build left Len = %d, want 0", p.Len())
+	}
+	p.mu.Lock()
+	resident, lruLen := len(p.entries), p.lru.Len()
+	p.mu.Unlock()
+	if resident != 0 || lruLen != 0 {
+		t.Errorf("failed build left %d entries / %d LRU slots resident", resident, lruLen)
+	}
+
+	// The error must not be pinned: once construction can succeed, the
+	// same dims Get retries and builds for real.
+	fail.Store(false)
+	hb, err := p.Get(d)
+	if err != nil || hb == nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if p.Len() != 1 {
+		t.Errorf("Len = %d after successful retry, want 1", p.Len())
+	}
+
+	// Failed entries must not evict real instances: with Max=2 and one
+	// resident, a burst of failing Gets for other dims leaves it alone.
+	fail.Store(true)
+	for _, other := range []Dims{{M: 2, N: 3}, {M: 0, N: 3}, {M: 2, N: 4}} {
+		if _, err := p.Get(other); err == nil {
+			t.Fatalf("Get(%v) succeeded under a failing construct", other)
+		}
+	}
+	fail.Store(false)
+	if hb2, err := p.Get(d); err != nil || hb2 != hb {
+		t.Errorf("resident instance lost to failed-entry eviction (err %v)", err)
+	}
+	if p.Evictions() != 0 {
+		t.Errorf("evictions %d, want 0", p.Evictions())
+	}
+}
+
+// TestPoolConcurrentFailedGets: concurrent Gets racing a failing
+// construct all observe the error, and the pool ends empty so a later
+// Get can retry.
+func TestPoolConcurrentFailedGets(t *testing.T) {
+	p := &Pool{Max: 4, construct: func(d Dims) (core.Topology, error) {
+		return nil, errors.New("construct: always fails")
+	}}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = p.Get(Dims{M: 2, N: 3})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("goroutine %d saw no error", i)
+		}
+	}
+	if p.Len() != 0 {
+		t.Errorf("Len = %d after failed concurrent Gets, want 0", p.Len())
+	}
+	p.mu.Lock()
+	resident := len(p.entries)
+	p.mu.Unlock()
+	if resident != 0 {
+		t.Errorf("%d failed entries still resident", resident)
+	}
+}
+
 func TestMetricsBucketCount(t *testing.T) {
 	if len(latencyBuckets) != len0 {
 		t.Fatalf("len0 = %d but len(latencyBuckets) = %d — keep them in sync", len0, len(latencyBuckets))

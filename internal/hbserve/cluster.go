@@ -1,0 +1,410 @@
+package hbserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// The cluster tier applies the paper's fault-tolerance story to the
+// serving layer itself: where Theorem 5 keeps HB(m,n) routable while
+// the fault engine kills edges and nodes, the Router keeps a fleet of
+// hbd replicas answering while the same churn schedules kill and
+// restart whole servers. It consistent-hash-shards the (dims,u,v)
+// keyspace across N replica base URLs (so each replica's instance pool
+// and route cache stay hot on its own shard), forwards with a bounded
+// queue (shedding 503 + Retry-After beyond it, like the replicas
+// themselves), actively health-checks peers with deadline probes and
+// ejection/re-admission hysteresis, and retries transport failures on
+// the next live replica clockwise — which is what turns a mid-load
+// replica kill into zero client-visible errors.
+
+// ClusterConfig sizes a Router. Zero values select the defaults.
+type ClusterConfig struct {
+	// Replicas are the peer base URLs (e.g. http://127.0.0.1:9001); at
+	// least one is required.
+	Replicas []string
+	// VNodes is the number of ring points per replica (defaultVNodes).
+	VNodes int
+	// QueueDepth bounds concurrently forwarded requests; beyond it the
+	// router sheds with 503 + Retry-After. 0 means DefaultQueueDepth,
+	// < 0 disables shedding.
+	QueueDepth int
+	// MaxAttempts bounds how many distinct replicas one request may be
+	// tried against on transport errors; 0 means min(3, len(Replicas)).
+	MaxAttempts int
+	// ForwardTimeout is the per-attempt deadline; 0 means
+	// DefaultForwardTimeout.
+	ForwardTimeout time.Duration
+
+	// Health-check knobs; zero values select the Default* constants.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	EjectAfter    int
+	ReadmitAfter  int
+}
+
+// DefaultQueueDepth bounds forwarding concurrency: far above a healthy
+// fleet's needs, so it only trips when every replica is drowning.
+const DefaultQueueDepth = 256
+
+// DefaultForwardTimeout matches the replicas' own request deadline.
+const DefaultForwardTimeout = 10 * time.Second
+
+// Router is the consistent-hash forwarding proxy over a replica fleet.
+type Router struct {
+	cfg      ClusterConfig
+	replicas []string
+	ring     *hashRing
+	health   *healthChecker
+	client   *http.Client
+	mux      *http.ServeMux
+	queue    chan struct{}
+	attempts int
+	start    time.Time
+
+	retries   atomic.Uint64 // transport-failed attempts retried elsewhere
+	shed      atomic.Uint64 // requests refused by the queue bound
+	noReplica atomic.Uint64 // requests failed for want of any live replica
+}
+
+// NewRouter builds a Router over the configured replica fleet. Start
+// launches the health probes; Serve (or Handler + an external server)
+// serves the forwarding endpoint.
+func NewRouter(cfg ClusterConfig) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("hbserve: router needs at least one replica URL")
+	}
+	replicas := make([]string, len(cfg.Replicas))
+	seen := make(map[string]bool, len(cfg.Replicas))
+	for i, u := range cfg.Replicas {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("hbserve: replica %d has an empty URL", i)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("hbserve: duplicate replica URL %s", u)
+		}
+		seen[u] = true
+		replicas[i] = u
+	}
+	depth := cfg.QueueDepth
+	if depth == 0 {
+		depth = DefaultQueueDepth
+	}
+	attempts := cfg.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	if attempts > len(replicas) {
+		attempts = len(replicas)
+	}
+	fwdTimeout := cfg.ForwardTimeout
+	if fwdTimeout <= 0 {
+		fwdTimeout = DefaultForwardTimeout
+	}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 2 * DefaultQueueDepth
+	tr.MaxIdleConnsPerHost = DefaultQueueDepth
+	rt := &Router{
+		cfg:      cfg,
+		replicas: replicas,
+		ring:     newHashRing(replicas, cfg.VNodes),
+		health:   newHealthChecker(replicas, cfg.ProbeInterval, cfg.ProbeTimeout, cfg.EjectAfter, cfg.ReadmitAfter),
+		client:   &http.Client{Timeout: fwdTimeout, Transport: tr},
+		mux:      http.NewServeMux(),
+		attempts: attempts,
+		start:    time.Now(),
+	}
+	if depth > 0 {
+		rt.queue = make(chan struct{}, depth)
+	}
+	rt.mux.HandleFunc("/", rt.forward)
+	rt.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	rt.mux.HandleFunc("/cluster", rt.handleCluster)
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	return rt, nil
+}
+
+// Start launches the active health probes; Stop shuts them down.
+func (rt *Router) Start() { rt.health.Start() }
+func (rt *Router) Stop()  { rt.health.Stop() }
+
+// Handler returns the router's root handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Healthy reports whether replica i is currently admitted (tests and
+// the cluster load generator read it).
+func (rt *Router) Healthy(i int) bool { return rt.health.Healthy(i) }
+
+// Serve serves on ln until ctx is cancelled, then drains like
+// Server.Serve. Health probes run for the duration.
+func (rt *Router) Serve(ctx context.Context, ln net.Listener, grace time.Duration) error {
+	rt.Start()
+	defer rt.Stop()
+	srv := &http.Server{Handler: rt.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("hbserve: router drain incomplete after %v: %w", grace, err)
+	}
+	<-errc
+	return nil
+}
+
+// ListenAndServe is Serve over a fresh listener.
+func (rt *Router) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return rt.Serve(ctx, ln, grace)
+}
+
+// forward proxies one request to the replica owning its shard key,
+// retrying transport failures on the next live replica clockwise.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request) {
+	if rt.queue != nil {
+		select {
+		case rt.queue <- struct{}{}:
+			defer func() { <-rt.queue }()
+		default:
+			rt.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, &httpError{
+				code: http.StatusServiceUnavailable,
+				msg:  fmt.Sprintf("router over capacity: %d forwards in flight", len(rt.queue)),
+			})
+			return
+		}
+	}
+
+	// Buffer the body up front: a retry must be able to resend it.
+	var body []byte
+	if r.Body != nil && r.Body != http.NoBody {
+		var err error
+		if body, err = io.ReadAll(r.Body); err != nil {
+			writeErr(w, badRequest("reading request body: %v", err))
+			return
+		}
+		r.Body.Close()
+	}
+
+	key := rt.requestKey(r, body)
+	tried := make([]bool, len(rt.replicas))
+	for attempt := 0; attempt < rt.attempts; attempt++ {
+		i := rt.ring.Lookup(key, func(i int) bool { return !tried[i] && rt.health.Healthy(i) })
+		if i < 0 {
+			break
+		}
+		tried[i] = true
+		resp, err := rt.forwardOnce(r, i, body)
+		if err != nil {
+			// A transport failure is the replica's problem, not the
+			// query's: report it toward ejection and move clockwise.
+			rt.health.ReportFailure(i)
+			rt.retries.Add(1)
+			continue
+		}
+		rt.relay(w, resp, i)
+		return
+	}
+	rt.noReplica.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, &httpError{
+		code: http.StatusServiceUnavailable,
+		msg:  fmt.Sprintf("no live replica (%d/%d healthy)", rt.health.HealthyCount(), len(rt.replicas)),
+	})
+}
+
+// forwardOnce sends the request to replica i under the per-attempt
+// deadline.
+func (rt *Router) forwardOnce(r *http.Request, i int, body []byte) (*http.Response, error) {
+	url := rt.replicas[i] + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	return rt.client.Do(req)
+}
+
+// relay copies the replica's response to the client, stamping which
+// replica answered.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, i int) {
+	defer resp.Body.Close()
+	h := w.Header()
+	for _, k := range []string{"Content-Type", "X-Cache", "X-Snapshot", "Retry-After"} {
+		if v := resp.Header.Get(k); v != "" {
+			h.Set(k, v)
+		}
+	}
+	h.Set("X-Replica", rt.replicas[i])
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	rt.health.replicas[i].forwarded.Add(1)
+}
+
+// requestKey computes the shard key for one request. Single-query GETs
+// key on the full (dims,u,v) identity — the same identity the replica's
+// route cache keys on, so a key's cache entry lives on exactly one
+// replica. /batch POSTs key on dims (the pairs inside one body already
+// share an instance); a body the router cannot parse keys on dims zero
+// and is forwarded anyway — the replica owns rejecting it.
+func (rt *Router) requestKey(r *http.Request, body []byte) uint64 {
+	q := r.URL.Query()
+	qi := func(name string, def int) int {
+		v, err := strconv.Atoi(q.Get(name))
+		if err != nil {
+			return def
+		}
+		return v
+	}
+	d := Dims{M: qi("m", 2), N: qi("n", 3)}
+	if r.Method == http.MethodPost && r.URL.Path == "/batch" {
+		if m, n, ok := peekBatchDims(r.Header.Get("Content-Type"), body); ok {
+			d = Dims{M: m, N: n}
+		}
+		return shardKey(d, 0, 0)
+	}
+	return shardKey(d, qi("u", 0), qi("v", 0))
+}
+
+// peekBatchDims extracts (m,n) from a /batch request body without fully
+// decoding it: the JSON codec unmarshals just the two fields, the
+// binary codec reads them at fixed offsets in the header frame.
+func peekBatchDims(ct string, body []byte) (m, n int, ok bool) {
+	if strings.HasPrefix(ct, ctBatchBin) {
+		// Header frame: u32 len | "HBB1" | u16 version | u16 op | u32 m | u32 n | ...
+		if len(body) < 20 || string(body[4:8]) != "HBB1" {
+			return 0, 0, false
+		}
+		return int(binary.LittleEndian.Uint32(body[12:16])),
+			int(binary.LittleEndian.Uint32(body[16:20])), true
+	}
+	var hdr struct {
+		M int `json:"m"`
+		N int `json:"n"`
+	}
+	if err := json.Unmarshal(body, &hdr); err != nil {
+		return 0, 0, false
+	}
+	return hdr.M, hdr.N, true
+}
+
+// clusterStatus is the /cluster JSON body: live membership plus the
+// per-replica forwarding counters the cluster load generator turns into
+// per-replica shares.
+type clusterStatus struct {
+	Replicas  []replicaStatus `json:"replicas"`
+	Healthy   int             `json:"healthy"`
+	Retries   uint64          `json:"retries"`
+	Shed      uint64          `json:"shed"`
+	NoReplica uint64          `json:"no_replica"`
+}
+
+type replicaStatus struct {
+	URL          string `json:"url"`
+	Healthy      bool   `json:"healthy"`
+	Forwarded    uint64 `json:"forwarded"`
+	Ejections    uint64 `json:"ejections"`
+	Readmissions uint64 `json:"readmissions"`
+}
+
+// Status snapshots the cluster state (the /cluster handler and the
+// load generator both read it).
+func (rt *Router) Status() clusterStatus {
+	st := clusterStatus{
+		Healthy:   rt.health.HealthyCount(),
+		Retries:   rt.retries.Load(),
+		Shed:      rt.shed.Load(),
+		NoReplica: rt.noReplica.Load(),
+	}
+	for _, r := range rt.health.replicas {
+		st.Replicas = append(st.Replicas, replicaStatus{
+			URL:          r.url,
+			Healthy:      r.healthy.Load(),
+			Forwarded:    r.forwarded.Load(),
+			Ejections:    r.ejections.Load(),
+			Readmissions: r.readmissions.Load(),
+		})
+	}
+	return st
+}
+
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, rt.Status())
+}
+
+// handleMetrics renders the router's own Prometheus families (the
+// replicas each expose their full /metrics separately).
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP hbd_router_up 1 while the router is serving.\n# TYPE hbd_router_up gauge\nhbd_router_up 1\n")
+	fmt.Fprintf(w, "# HELP hbd_router_uptime_seconds Seconds since the router started.\n# TYPE hbd_router_uptime_seconds gauge\nhbd_router_uptime_seconds %g\n",
+		time.Since(rt.start).Seconds())
+	fmt.Fprintf(w, "# HELP hbd_router_replicas Configured replica count.\n# TYPE hbd_router_replicas gauge\nhbd_router_replicas %d\n", len(rt.replicas))
+	fmt.Fprintf(w, "# HELP hbd_router_healthy_replicas Replicas currently admitted.\n# TYPE hbd_router_healthy_replicas gauge\nhbd_router_healthy_replicas %d\n",
+		rt.health.HealthyCount())
+	fmt.Fprintf(w, "# HELP hbd_router_retries_total Forward attempts retried on another replica after a transport failure.\n# TYPE hbd_router_retries_total counter\nhbd_router_retries_total %d\n",
+		rt.retries.Load())
+	fmt.Fprintf(w, "# HELP hbd_router_shed_total Requests refused with 503 by the forwarding queue bound.\n# TYPE hbd_router_shed_total counter\nhbd_router_shed_total %d\n",
+		rt.shed.Load())
+	fmt.Fprintf(w, "# HELP hbd_router_no_replica_total Requests failed for want of any live replica.\n# TYPE hbd_router_no_replica_total counter\nhbd_router_no_replica_total %d\n",
+		rt.noReplica.Load())
+
+	idx := make([]int, len(rt.replicas))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return rt.replicas[idx[a]] < rt.replicas[idx[b]] })
+	fmt.Fprintf(w, "# HELP hbd_router_forwarded_total Requests answered, by replica.\n# TYPE hbd_router_forwarded_total counter\n")
+	for _, i := range idx {
+		fmt.Fprintf(w, "hbd_router_forwarded_total{replica=%q} %d\n", rt.replicas[i], rt.health.replicas[i].forwarded.Load())
+	}
+	fmt.Fprintf(w, "# HELP hbd_router_replica_healthy 1 while the replica is admitted.\n# TYPE hbd_router_replica_healthy gauge\n")
+	for _, i := range idx {
+		v := 0
+		if rt.health.Healthy(i) {
+			v = 1
+		}
+		fmt.Fprintf(w, "hbd_router_replica_healthy{replica=%q} %d\n", rt.replicas[i], v)
+	}
+	fmt.Fprintf(w, "# HELP hbd_router_ejections_total Health-check ejections, by replica.\n# TYPE hbd_router_ejections_total counter\n")
+	for _, i := range idx {
+		fmt.Fprintf(w, "hbd_router_ejections_total{replica=%q} %d\n", rt.replicas[i], rt.health.replicas[i].ejections.Load())
+	}
+	fmt.Fprintf(w, "# HELP hbd_router_readmissions_total Health-check re-admissions, by replica.\n# TYPE hbd_router_readmissions_total counter\n")
+	for _, i := range idx {
+		fmt.Fprintf(w, "hbd_router_readmissions_total{replica=%q} %d\n", rt.replicas[i], rt.health.replicas[i].readmissions.Load())
+	}
+}

@@ -1,0 +1,254 @@
+package hbserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// The cluster load generator is the fleet-level counterpart of Load: it
+// drives the router and (optionally) every replica's direct endpoint
+// concurrently with independent open-loop generators, replays a
+// faults.Schedule against the fleet mid-load — the paper's node-fault
+// model applied to servers — and reports aggregate route throughput,
+// per-replica share (from the router's forwarding counters), and the
+// router-leg error rate against a declared shed budget. The chaos
+// acceptance gate is WithinBudget: a replica killed and restarted
+// mid-load must yield zero non-2xx beyond the budget on the router leg,
+// because the router's retry + ejection machinery absorbs the outage.
+
+// ReplicaController kills and restarts fleet members for chaos runs.
+// Tests control in-process servers; the CI smoke drives OS processes
+// from the shell instead and runs LoadCluster without a controller.
+type ReplicaController interface {
+	Kill(i int) error
+	Restart(i int) error
+}
+
+// DefaultShedBudget is the allowed non-2xx fraction on the router leg
+// during membership churn: 1%.
+const DefaultShedBudget = 0.01
+
+// ClusterLoadConfig parameterises one cluster run.
+type ClusterLoadConfig struct {
+	RouterURL string   // router base URL (required)
+	Replicas  []string // direct per-replica base URLs, each driven concurrently (optional)
+
+	M, N     int
+	Endpoint string // "route" or "paths"
+	Mix      string // "uniform" or "permutation"
+	QPS      int    // per-target rate
+	Duration time.Duration
+	Workers  int
+	Seed     int64
+
+	// ShedBudget is the allowed non-2xx fraction on the router leg;
+	// 0 means DefaultShedBudget, < 0 means zero tolerance.
+	ShedBudget float64
+
+	// Chaos, replayed at ChaosTick per cycle via Controller, kills and
+	// restarts replicas mid-load (Event.Node indexes Replicas;
+	// Fail=true kills). All three must be set together.
+	Chaos      faults.Schedule
+	ChaosTick  time.Duration
+	Controller ReplicaController
+}
+
+// ReplicaShare is one replica's slice of the router's forwarded
+// traffic over the measured window.
+type ReplicaShare struct {
+	URL       string  `json:"url"`
+	Forwarded uint64  `json:"forwarded"`
+	Share     float64 `json:"share"`
+}
+
+// ClusterReport is the serialised BENCH_cluster.json.
+type ClusterReport struct {
+	M          int      `json:"m"`
+	N          int      `json:"n"`
+	Router     string   `json:"router"`
+	Replicas   []string `json:"replicas"`
+	ShedBudget float64  `json:"shed_budget"`
+
+	// RouterResult is the load leg through the router — the leg the
+	// budget gate reads. Direct holds the concurrent per-replica legs.
+	RouterResult LoadResult   `json:"router_result"`
+	Direct       []LoadResult `json:"direct,omitempty"`
+
+	// AggregateRoutesPerSec sums route throughput across every leg.
+	AggregateRoutesPerSec float64        `json:"aggregate_routes_per_sec"`
+	Share                 []ReplicaShare `json:"per_replica_share,omitempty"`
+
+	Kills        int    `json:"kills"`
+	Restarts     int    `json:"restarts"`
+	RouterShed   uint64 `json:"router_shed"`
+	RouterRetry  uint64 `json:"router_retries"`
+	WithinBudget bool   `json:"within_budget"`
+}
+
+// LoadCluster runs one configured cluster mix to completion.
+func LoadCluster(cfg ClusterLoadConfig) (ClusterReport, error) {
+	rep := ClusterReport{
+		M: cfg.M, N: cfg.N,
+		Router:     strings.TrimRight(cfg.RouterURL, "/"),
+		Replicas:   cfg.Replicas,
+		ShedBudget: cfg.ShedBudget,
+	}
+	if rep.Router == "" {
+		return rep, fmt.Errorf("hbserve: cluster load needs a router URL")
+	}
+	if rep.ShedBudget == 0 {
+		rep.ShedBudget = DefaultShedBudget
+	} else if rep.ShedBudget < 0 {
+		rep.ShedBudget = 0
+	}
+	if (cfg.Chaos != nil) != (cfg.Controller != nil) {
+		return rep, fmt.Errorf("hbserve: chaos schedule and controller must be set together")
+	}
+
+	before, err := scrapeCluster(rep.Router)
+	if err != nil {
+		return rep, err
+	}
+
+	// Chaos replays on its own goroutine for the whole measured window;
+	// cancelling after the legs finish stops any events scheduled past
+	// the end of the run.
+	ctx, cancel := context.WithCancel(context.Background())
+	var chaosWG sync.WaitGroup
+	var chaosMu sync.Mutex
+	var chaosErr error
+	if cfg.Chaos != nil {
+		tick := cfg.ChaosTick
+		if tick <= 0 {
+			tick = 100 * time.Millisecond
+		}
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			faults.ReplayTimed(ctx, cfg.Chaos, tick, func(e faults.Event) {
+				var err error
+				if e.Fail {
+					err = cfg.Controller.Kill(e.Node)
+				} else {
+					err = cfg.Controller.Restart(e.Node)
+				}
+				chaosMu.Lock()
+				if e.Fail {
+					rep.Kills++
+				} else {
+					rep.Restarts++
+				}
+				if err != nil && chaosErr == nil {
+					chaosErr = fmt.Errorf("hbserve: chaos event %+v: %w", e, err)
+				}
+				chaosMu.Unlock()
+			})
+		}()
+	}
+
+	// One independent open-loop generator per target, all concurrent:
+	// leg 0 is the router, the rest the direct replica endpoints.
+	targets := append([]string{rep.Router}, cfg.Replicas...)
+	results := make([]LoadResult, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, target := range targets {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			results[i], errs[i] = Load(LoadConfig{
+				BaseURL:  target,
+				M:        cfg.M,
+				N:        cfg.N,
+				Endpoint: cfg.Endpoint,
+				Mix:      cfg.Mix,
+				QPS:      cfg.QPS,
+				Duration: cfg.Duration,
+				Workers:  cfg.Workers,
+				Seed:     cfg.Seed + int64(i),
+			})
+		}(i, target)
+	}
+	wg.Wait()
+	cancel()
+	chaosWG.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return rep, fmt.Errorf("hbserve: cluster leg %s: %w", targets[i], err)
+		}
+	}
+	if chaosErr != nil {
+		return rep, chaosErr
+	}
+
+	rep.RouterResult = results[0]
+	rep.Direct = results[1:]
+	for _, r := range results {
+		rep.AggregateRoutesPerSec += r.RoutesPerSec
+	}
+
+	after, err := scrapeCluster(rep.Router)
+	if err != nil {
+		return rep, err
+	}
+	rep.RouterShed = after.Shed - before.Shed
+	rep.RouterRetry = after.Retries - before.Retries
+	total := uint64(0)
+	deltas := make([]uint64, len(after.Replicas))
+	for i, r := range after.Replicas {
+		d := r.Forwarded
+		if i < len(before.Replicas) {
+			d -= before.Replicas[i].Forwarded
+		}
+		deltas[i] = d
+		total += d
+	}
+	for i, r := range after.Replicas {
+		share := 0.0
+		if total > 0 {
+			share = float64(deltas[i]) / float64(total)
+		}
+		rep.Share = append(rep.Share, ReplicaShare{URL: r.URL, Forwarded: deltas[i], Share: share})
+	}
+
+	// The budget gates the router leg only: direct legs against a
+	// replica that chaos killed are expected to fail during the outage.
+	budgeted := int(rep.ShedBudget * float64(rep.RouterResult.Requests))
+	rep.WithinBudget = rep.RouterResult.Non2xx <= budgeted
+	return rep, nil
+}
+
+// scrapeCluster fetches the router's /cluster status.
+func scrapeCluster(routerURL string) (clusterStatus, error) {
+	var st clusterStatus
+	url := routerURL + "/cluster"
+	resp, err := http.Get(url)
+	if err != nil {
+		return st, fmt.Errorf("hbserve: scraping %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("hbserve: scraping %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("hbserve: decoding %s: %w", url, err)
+	}
+	return st, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (c *ClusterReport) WriteFile(path string) error {
+	raw, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

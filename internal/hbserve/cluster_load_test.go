@@ -1,0 +1,191 @@
+package hbserve
+
+import (
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// clusterHarness boots a fleet plus a router with fast health probes,
+// returning everything LoadCluster needs.
+func clusterHarness(t *testing.T, n int) (*testFleet, *Router, *httptest.Server) {
+	t.Helper()
+	fleet := newTestFleet(t, n)
+	rt, ts := newTestRouter(t, ClusterConfig{
+		Replicas:      fleet.URLs(),
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  200 * time.Millisecond,
+		EjectAfter:    2,
+		ReadmitAfter:  2,
+	})
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	return fleet, rt, ts
+}
+
+// TestClusterChaosKillRestartMidLoad is the chaos acceptance gate in
+// miniature: a replica is killed and restarted mid-load by a
+// faults.Schedule, and the router leg must stay within the shed budget
+// because retries + ejection absorb the outage.
+func TestClusterChaosKillRestartMidLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed load run in -short")
+	}
+	fleet, rt, ts := clusterHarness(t, 3)
+
+	// Kill replica 1 at 200ms, restart it at 600ms (tick = 50ms); the
+	// 1.4s window leaves time for re-admission and a traffic shift back.
+	chaos := faults.Schedule{
+		{Cycle: 4, Node: 1, Fail: true},
+		{Cycle: 12, Node: 1, Fail: false},
+	}
+	rep, err := LoadCluster(ClusterLoadConfig{
+		RouterURL: ts.URL,
+		M:         1, N: 3,
+		Endpoint: "route",
+		Mix:      "uniform",
+		QPS:      300,
+		Duration: 1400 * time.Millisecond,
+		Workers:  8,
+		Seed:     1,
+
+		Chaos:      chaos,
+		ChaosTick:  50 * time.Millisecond,
+		Controller: fleet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kills != 1 || rep.Restarts != 1 {
+		t.Errorf("chaos applied %d kills / %d restarts, want 1/1", rep.Kills, rep.Restarts)
+	}
+	if rep.RouterResult.Requests == 0 {
+		t.Fatal("router leg completed no requests")
+	}
+	if !rep.WithinBudget {
+		t.Errorf("router leg outside shed budget: %d/%d non-2xx (budget %.3f)",
+			rep.RouterResult.Non2xx, rep.RouterResult.Requests, rep.ShedBudget)
+	}
+	if rep.AggregateRoutesPerSec <= 0 {
+		t.Error("no aggregate throughput recorded")
+	}
+	// The killed replica must have been ejected and re-admitted, and
+	// ended the run carrying part of the keyspace again.
+	st := rt.Status()
+	if st.Replicas[1].Ejections == 0 {
+		t.Error("killed replica was never ejected")
+	}
+	if st.Replicas[1].Readmissions == 0 {
+		t.Error("restarted replica was never re-admitted")
+	}
+	if len(rep.Share) != 3 {
+		t.Fatalf("share over %d replicas, want 3", len(rep.Share))
+	}
+	for i, s := range rep.Share {
+		if s.Forwarded == 0 {
+			t.Errorf("replica %d (%s) forwarded nothing over the window", i, s.URL)
+		}
+	}
+}
+
+// TestClusterLoadDirectLegs: the generator drives router and replica
+// endpoints concurrently and sums their throughput.
+func TestClusterLoadDirectLegs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed load run in -short")
+	}
+	fleet, _, ts := clusterHarness(t, 2)
+	rep, err := LoadCluster(ClusterLoadConfig{
+		RouterURL: ts.URL,
+		Replicas:  fleet.URLs(),
+		M:         1, N: 3,
+		Endpoint: "route",
+		Mix:      "uniform",
+		QPS:      200,
+		Duration: 500 * time.Millisecond,
+		Workers:  4,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Direct) != 2 {
+		t.Fatalf("%d direct legs, want 2", len(rep.Direct))
+	}
+	want := rep.RouterResult.RoutesPerSec
+	for _, d := range rep.Direct {
+		if d.Requests == 0 || d.Non2xx != 0 {
+			t.Errorf("direct leg %+v", d)
+		}
+		want += d.RoutesPerSec
+	}
+	if rep.AggregateRoutesPerSec != want {
+		t.Errorf("aggregate %.1f, want the legs' sum %.1f", rep.AggregateRoutesPerSec, want)
+	}
+	if !rep.WithinBudget {
+		t.Errorf("chaos-free run outside budget: %+v", rep.RouterResult)
+	}
+}
+
+func TestClusterLoadValidation(t *testing.T) {
+	if _, err := LoadCluster(ClusterLoadConfig{}); err == nil {
+		t.Error("accepted an empty router URL")
+	}
+	if _, err := LoadCluster(ClusterLoadConfig{
+		RouterURL: "http://127.0.0.1:1",
+		Chaos:     faults.Schedule{{Cycle: 0, Node: 0, Fail: true}},
+	}); err == nil {
+		t.Error("accepted a chaos schedule without a controller")
+	}
+}
+
+// TestEmitBenchCluster emits BENCH_cluster.json when BENCH_CLUSTER_OUT
+// is set: 3 replicas + router on one machine, a kill/restart of one
+// replica mid-load, aggregate routes/s across the fleet (the committed
+// artifact at the repo root and the bench-smoke CI artifact both come
+// from this test; see EXPERIMENTS.md E-CU).
+func TestEmitBenchCluster(t *testing.T) {
+	out := os.Getenv("BENCH_CLUSTER_OUT")
+	if out == "" {
+		t.Skip("set BENCH_CLUSTER_OUT to emit the cluster baseline")
+	}
+	fleet, _, ts := clusterHarness(t, 3)
+	chaos := faults.Schedule{
+		{Cycle: 10, Node: 1, Fail: true},
+		{Cycle: 30, Node: 1, Fail: false},
+	}
+	rep, err := LoadCluster(ClusterLoadConfig{
+		RouterURL: ts.URL,
+		Replicas:  fleet.URLs(),
+		M:         2, N: 4,
+		Endpoint: "route",
+		Mix:      "uniform",
+		QPS:      3000,
+		Duration: 5 * time.Second,
+		Workers:  32,
+		Seed:     1,
+
+		Chaos:      chaos,
+		ChaosTick:  100 * time.Millisecond,
+		Controller: fleet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.WithinBudget {
+		t.Errorf("router leg outside shed budget: %d/%d non-2xx",
+			rep.RouterResult.Non2xx, rep.RouterResult.Requests)
+	}
+	if rep.Kills != 1 || rep.Restarts != 1 {
+		t.Errorf("chaos applied %d kills / %d restarts, want 1/1", rep.Kills, rep.Restarts)
+	}
+	if err := rep.WriteFile(out); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("aggregate %.0f routes/s over %d replicas (router leg %.0f qps, %d non-2xx, %d retries); wrote %s",
+		rep.AggregateRoutesPerSec, len(rep.Replicas), rep.RouterResult.AchievedQPS,
+		rep.RouterResult.Non2xx, rep.RouterRetry, out)
+}

@@ -122,7 +122,11 @@ func Load(cfg LoadConfig) (LoadResult, error) {
 		}
 	}
 
-	client := &http.Client{Timeout: 10 * time.Second}
+	client := newLoadClient(workers)
+	// The transport is private to this run; dropping its keep-alive
+	// connections on the way out lets the target drain promptly instead
+	// of waiting for idle conns to age out.
+	defer client.CloseIdleConnections()
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
@@ -139,7 +143,12 @@ func Load(cfg LoadConfig) (LoadResult, error) {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode/100 != 2 {
+			// Errors are counted exactly once, in non2xx, and excluded
+			// from the latency population: a fast 503 from load shedding
+			// would otherwise both drag the percentiles down and be
+			// double-counted in Requests (len(latencies) + non2xx).
 			non2xx.Add(1)
+			return
 		}
 		mu.Lock()
 		latencies = append(latencies, lat)
@@ -205,6 +214,18 @@ func Load(cfg LoadConfig) (LoadResult, error) {
 		res.LatencyMS.Max = ms(latencies[len(latencies)-1])
 	}
 	return res, nil
+}
+
+// newLoadClient returns an http.Client sized for `workers` concurrent
+// requesters against a single host. The default transport keeps only
+// MaxIdleConnsPerHost=2 idle connections, so at 32 workers most
+// requests would pay a fresh TCP handshake and the client, not the
+// server, becomes the bottleneck at high -qps.
+func newLoadClient(workers int) *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 2 * workers
+	tr.MaxIdleConnsPerHost = workers
+	return &http.Client{Timeout: 10 * time.Second, Transport: tr}
 }
 
 // dispatch paces offer() open-loop at qps for the duration: every

@@ -2,9 +2,13 @@ package hbserve
 
 import (
 	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -131,6 +135,64 @@ func TestBatchLoadAgainstLiveServer(t *testing.T) {
 	}
 	if got := s.Metrics().BatchPairs(); got != wantPairs {
 		t.Errorf("server counted %d batch pairs, client %d", got, wantPairs)
+	}
+}
+
+// TestLoadAccountingExcludesNon2xx: non-2xx responses must be counted
+// exactly once in Requests and excluded from the latency population.
+// The stub answers ~2/3 of requests with an immediate 503 and the rest
+// with a 200 after a 5ms stall; before the fix the fast 503s were both
+// double-counted (inflating AchievedQPS) and recorded as latencies
+// (dragging p50 under the 5ms floor of any real answer).
+func TestLoadAccountingExcludesNon2xx(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed load run in -short")
+	}
+	var ok200, err503 atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		u, _ := strconv.Atoi(r.URL.Query().Get("u"))
+		if u%3 != 0 {
+			err503.Add(1)
+			http.Error(w, "shed", http.StatusServiceUnavailable)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+		ok200.Add(1)
+		fmt.Fprintln(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+
+	res, err := Load(LoadConfig{
+		BaseURL:  ts.URL,
+		M:        1,
+		N:        3,
+		Endpoint: "route",
+		Mix:      "uniform",
+		QPS:      400,
+		Duration: 400 * time.Millisecond,
+		Workers:  8,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := int(ok200.Load() + err503.Load())
+	if res.Requests != served {
+		t.Errorf("Requests = %d, server answered %d (double counting?)", res.Requests, served)
+	}
+	if res.Non2xx != int(err503.Load()) {
+		t.Errorf("Non2xx = %d, server sent %d 503s", res.Non2xx, err503.Load())
+	}
+	if res.Pairs != int(ok200.Load()) {
+		t.Errorf("Pairs = %d, server answered %d 2xx", res.Pairs, ok200.Load())
+	}
+	if res.Non2xx == 0 || res.Pairs == 0 {
+		t.Fatalf("degenerate mix: %d non-2xx, %d ok — stub broken", res.Non2xx, res.Pairs)
+	}
+	// Every 2xx stalls >= 5ms, so if the fast 503s leaked into the
+	// latency population the median would sit far below the floor.
+	if res.LatencyMS.P50 < 5 {
+		t.Errorf("p50 %.3fms below the 5ms 2xx floor: non-2xx latencies leaked in", res.LatencyMS.P50)
 	}
 }
 

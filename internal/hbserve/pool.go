@@ -148,17 +148,33 @@ func (p *Pool) Get(d Dims) (core.Topology, error) {
 		}
 		e.built.Store(true)
 	})
+	if e.err != nil {
+		// A failed build must not stay resident: it would occupy an LRU
+		// slot (able to evict real instances), count toward Len, and pin
+		// the error for every later Get. Remove it — guarded by identity,
+		// since a later Get may already have inserted a fresh entry — so
+		// the next Get for these dims retries construction.
+		p.mu.Lock()
+		if p.entries[d] == e {
+			p.lru.Remove(e.elem)
+			delete(p.entries, d)
+		}
+		p.mu.Unlock()
+		return nil, e.err
+	}
 	return e.top, e.err
 }
 
-// Len returns the number of resident constructed instances; entries
-// still being built by a concurrent Get are not counted.
+// Len returns the number of resident successfully constructed
+// instances; entries still being built by a concurrent Get — and
+// failed builds awaiting removal by their Get — are not counted.
 func (p *Pool) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n := 0
 	for _, e := range p.entries {
-		if e.built.Load() {
+		// built.Load() orders the read of e.err after the builder's writes.
+		if e.built.Load() && e.err == nil {
 			n++
 		}
 	}

@@ -1,0 +1,76 @@
+package hbserve
+
+import (
+	"sort"
+	"strconv"
+)
+
+// hashRing consistent-hash-shards the (dims,u,v) keyspace across
+// replica indices. Each replica owns vnodes points on a 64-bit ring; a
+// key belongs to the first point clockwise from its hash. The point set
+// is immutable after construction — membership changes (ejections,
+// re-admissions) are expressed at lookup time by the alive predicate,
+// so a dead replica's keys spill to the next live point clockwise while
+// every key owned by a surviving replica keeps its owner. That
+// stability under churn is the property the cluster tier's affinity
+// test pins.
+type hashRing struct {
+	points []ringPoint
+	n      int // replica count
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// defaultVNodes balances the keyspace to within a few percent across a
+// handful of replicas without making lookups or construction heavy.
+const defaultVNodes = 64
+
+// newHashRing builds the ring over n replicas identified by the given
+// stable names (the cluster tier passes base URLs); vnodes <= 0 selects
+// defaultVNodes.
+func newHashRing(names []string, vnodes int) *hashRing {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &hashRing{points: make([]ringPoint, 0, len(names)*vnodes), n: len(names)}
+	for i, name := range names {
+		for j := 0; j < vnodes; j++ {
+			h := fnv1a(name + "#" + strconv.Itoa(j))
+			r.points = append(r.points, ringPoint{hash: h, replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r
+}
+
+// Lookup returns the replica owning key among those alive accepts
+// (nil = all), or -1 when none is. Walking the ring point by point —
+// rather than filtering the point set up front — is what preserves
+// surviving replicas' assignments under membership change.
+func (r *hashRing) Lookup(key uint64, alive func(int) bool) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for k := 0; k < len(r.points); k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if alive == nil || alive(p.replica) {
+			return p.replica
+		}
+	}
+	return -1
+}
+
+// shardKey hashes one (dims,u,v) query identity onto the ring.
+func shardKey(d Dims, u, v int) uint64 {
+	return fnv1a(strconv.Itoa(d.M) + "|" + strconv.Itoa(d.N) + "|" +
+		strconv.Itoa(u) + "|" + strconv.Itoa(v))
+}
