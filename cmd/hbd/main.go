@@ -76,9 +76,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	endpoints := fs.String("endpoints", "route", "load: comma-separated endpoints (route,paths)")
 	mixes := fs.String("mixes", "uniform,permutation", "load: comma-separated mixes")
 	out := fs.String("out", "BENCH_serve.json", "load: report path")
-	batch := fs.Int("batch", 0, "load: also run /batch with this many pairs per request (0 disables)")
-	codec := fs.String("codec", "bin", "load: /batch codec (json or bin)")
-	batchQPS := fs.Int("batchqps", 0, "load: /batch request rate (0 = qps, i.e. batch× the single-query pair rate)")
+	batch := fs.Int("batch", 0, "load/clusterload: also run /batch with this many pairs per request (0 disables)")
+	codec := fs.String("codec", "bin", "load/clusterload: /batch codec (json or bin)")
+	batchQPS := fs.Int("batchqps", 0, "load/clusterload: /batch request rate (0 = mode default)")
 
 	replicas := fs.String("replicas", "", "router/clusterload: comma-separated replica base URLs")
 	vnodes := fs.Int("vnodes", 0, "router: virtual nodes per replica on the hash ring (0 = default)")
@@ -88,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	probeTimeout := fs.Duration("probetimeout", 0, "router: per-probe deadline (0 = default)")
 	eject := fs.Int("eject", 0, "router: consecutive failures before ejection (0 = default)")
 	readmit := fs.Int("readmit", 0, "router: consecutive probe successes before re-admission (0 = default)")
+	replication := fs.Int("replication", 0, "router: alive owners per key (0 = default 2)")
+	scatterMin := fs.Int("scattermin", 0, "router: smallest /batch split across the ring (0 = default, negative disables scatter)")
 
 	router := fs.String("router", "http://127.0.0.1:8090", "clusterload: router base URL")
 	shedBudget := fs.Float64("shedbudget", 0, "clusterload: allowed non-2xx fraction on the router leg (0 = default 1%, negative = zero tolerance)")
@@ -200,15 +202,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	case "router":
 		rt, err := hbserve.NewRouter(hbserve.ClusterConfig{
-			Replicas:       splitList(*replicas),
-			VNodes:         *vnodes,
-			QueueDepth:     *queueDepth,
-			MaxAttempts:    *attempts,
-			ForwardTimeout: *timeout,
-			ProbeInterval:  *probeInterval,
-			ProbeTimeout:   *probeTimeout,
-			EjectAfter:     *eject,
-			ReadmitAfter:   *readmit,
+			Replicas:        splitList(*replicas),
+			VNodes:          *vnodes,
+			QueueDepth:      *queueDepth,
+			MaxAttempts:     *attempts,
+			ForwardTimeout:  *timeout,
+			ProbeInterval:   *probeInterval,
+			ProbeTimeout:    *probeTimeout,
+			EjectAfter:      *eject,
+			ReadmitAfter:    *readmit,
+			Replication:     *replication,
+			ScatterMinPairs: *scatterMin,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "hbd: %v\n", err)
@@ -238,6 +242,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Workers:    *workers,
 			Seed:       *seed,
 			ShedBudget: *shedBudget,
+			Batch:      *batch,
+			BatchQPS:   *batchQPS,
+			Codec:      *codec,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "hbd: clusterload: %v\n", err)
@@ -250,8 +257,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, s := range rep.Share {
 			fmt.Fprintf(stdout, "hbd:   %-28s forwarded %6d (%.1f%%)\n", s.URL, s.Forwarded, 100*s.Share)
 		}
+		if rb := rep.RouterBatch; rb != nil {
+			fmt.Fprintf(stdout, "hbd: batch leg  batch=%d %-4s %6d req  %10.0f routes/s  lost %d  p50 %.3fms  non-2xx %d\n",
+				*batch, rb.Codec, rb.Requests, rb.RoutesPerSec, rb.LostPairs, rb.LatencyMS.P50, rb.Non2xx)
+			fmt.Fprintf(stdout, "hbd: batch aggregate %.0f routes/s across %d batch legs\n",
+				rep.BatchRoutesPerSec, 1+len(rep.DirectBatch))
+		}
 		fmt.Fprintf(stdout, "hbd: aggregate %.0f routes/s across %d legs\n",
-			rep.AggregateRoutesPerSec, 1+len(rep.Direct))
+			rep.AggregateRoutesPerSec, 1+len(rep.Direct)+boolToInt(rep.RouterBatch != nil)+len(rep.DirectBatch))
 		if *out != "" {
 			path := *out
 			if path == "BENCH_serve.json" {
@@ -277,6 +290,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // firstOr returns the first element of a flag list, or def if empty.
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func firstOr(list []string, def string) string {
 	if len(list) > 0 {
 		return list[0]

@@ -229,8 +229,16 @@ func parseBatchRequest(r *http.Request) (*batchRequest, error) {
 	if err != nil {
 		return nil, badRequest("reading body: %v", err)
 	}
-	ct := r.Header.Get("Content-Type")
+	return parseBatchBody(r.Header.Get("Content-Type"), body)
+}
+
+// parseBatchBody decodes an already-buffered /batch body in whichever
+// codec the Content-Type selects; the replica handler and the router's
+// scatter path share it, so a body is valid (or rejected) identically
+// on both tiers.
+func parseBatchBody(ct string, body []byte) (*batchRequest, error) {
 	var req *batchRequest
+	var err error
 	switch {
 	case ct == ctBatchBin:
 		req, err = parseBatchBin(body)

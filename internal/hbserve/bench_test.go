@@ -1,6 +1,7 @@
 package hbserve
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -91,6 +92,59 @@ func BenchmarkHandlerRoute(b *testing.B) {
 			cold.ServeHTTP(w, req)
 			if w.Code != 200 {
 				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+}
+
+// BenchmarkRouterForward measures the router's own per-request
+// overhead — shard lookup, pooled body/copy buffers, relay — in front
+// of a live in-process replica. The allocs/op number is the satellite
+// this PR pins: the pooled buffers keep the router path from allocating
+// a fresh body and copy chunk per forward.
+func BenchmarkRouterForward(b *testing.B) {
+	replica := httptest.NewServer(NewServer(Config{}).Handler())
+	defer replica.Close()
+	rt, err := NewRouter(ClusterConfig{Replicas: []string{replica.URL}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	handler := rt.Handler()
+
+	b.Run("single", func(b *testing.B) {
+		req := httptest.NewRequest(http.MethodGet, "/route?m=2&n=4&u=0&v=200", nil)
+		handler.ServeHTTP(httptest.NewRecorder(), req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := httptest.NewRecorder()
+			handler.ServeHTTP(w, req)
+			if w.Code != 200 {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+
+	b.Run("batch64", func(b *testing.B) {
+		src := make([]int, 64)
+		dst := make([]int, 64)
+		for i := range src {
+			src[i], dst[i] = i%96, (i*7+5)%96
+		}
+		body, err := EncodeBatchBinRequest("route", 2, 3, nil, src, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(body)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/batch", bytes.NewReader(body))
+			req.Header.Set("Content-Type", ctBatchBin)
+			w := httptest.NewRecorder()
+			handler.ServeHTTP(w, req)
+			if w.Code != 200 {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
 			}
 		}
 	})

@@ -154,3 +154,14 @@ func fnv1a(s string) uint64 {
 	}
 	return h
 }
+
+// fnv1aBytes is fnv1a over a byte slice; identical output for
+// identical content, without a string conversion.
+func fnv1aBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -28,6 +29,16 @@ import (
 // ejection/re-admission hysteresis, and retries transport failures on
 // the next live replica clockwise — which is what turns a mid-load
 // replica kill into zero client-visible errors.
+//
+// Keys are replicated at factor R (Replication): each key's owner set
+// is the first R distinct alive replicas on the clockwise walk, single
+// queries fail over within the owner set before walking further, and
+// /batch bodies are scatter-gathered — split pair-by-pair across owner
+// sets, balanced by in-flight load, and re-merged byte-exactly (see
+// cluster_batch.go). That is the capacity half of the fault story: an
+// ejection not only keeps every key reachable, it spreads the ejected
+// replica's share across the surviving owners instead of doubling one
+// survivor's load.
 
 // ClusterConfig sizes a Router. Zero values select the defaults.
 type ClusterConfig struct {
@@ -47,6 +58,16 @@ type ClusterConfig struct {
 	// DefaultForwardTimeout.
 	ForwardTimeout time.Duration
 
+	// Replication is the owner-set size R: every key is served by the
+	// first R distinct alive replicas on its clockwise walk. 0 means
+	// DefaultReplication; it is capped at the replica count.
+	Replication int
+	// ScatterMinPairs is the smallest /batch request the router splits
+	// across the fleet; below it the whole body forwards to one owner
+	// (scattering a tiny batch costs more than it parallelises). 0
+	// means DefaultScatterMinPairs, < 0 disables scattering entirely.
+	ScatterMinPairs int
+
 	// Health-check knobs; zero values select the Default* constants.
 	ProbeInterval time.Duration
 	ProbeTimeout  time.Duration
@@ -61,21 +82,48 @@ const DefaultQueueDepth = 256
 // DefaultForwardTimeout matches the replicas' own request deadline.
 const DefaultForwardTimeout = 10 * time.Second
 
+// DefaultReplication keeps two alive owners per key: one ejection
+// leaves every key with a warm-set owner and spreads the dead
+// replica's batch share across survivors by load instead of dumping it
+// all on the next point clockwise.
+const DefaultReplication = 2
+
+// DefaultScatterMinPairs is the scatter threshold: below it the
+// per-sub-batch HTTP round trip dominates the split's win.
+const DefaultScatterMinPairs = 64
+
 // Router is the consistent-hash forwarding proxy over a replica fleet.
 type Router struct {
-	cfg      ClusterConfig
-	replicas []string
-	ring     *hashRing
-	health   *healthChecker
-	client   *http.Client
-	mux      *http.ServeMux
-	queue    chan struct{}
-	attempts int
-	start    time.Time
+	cfg         ClusterConfig
+	replicas    []string
+	ring        *hashRing
+	health      *healthChecker
+	client      *http.Client
+	mux         *http.ServeMux
+	queue       chan struct{}
+	attempts    int
+	replication int
+	scatterMin  int
+	start       time.Time
 
 	retries   atomic.Uint64 // transport-failed attempts retried elsewhere
 	shed      atomic.Uint64 // requests refused by the queue bound
 	noReplica atomic.Uint64 // requests failed for want of any live replica
+
+	// Scatter-gather accounting: sub-batches fanned out, sub-batches
+	// retried on another owner, pairs routed through the scatter path,
+	// and per-replica in-flight pairs (the power-of-two-choices signal
+	// and the owner-set occupancy gauge).
+	subFanout  atomic.Uint64
+	subRetries atomic.Uint64
+	subPairs   atomic.Uint64
+	inflight   []atomic.Int64
+
+	// bodyPool holds request-body buffers and gathered sub-responses;
+	// copyPool holds the fixed chunks relay streams through. Both keep
+	// the per-forward allocation profile flat under load.
+	bodyPool sync.Pool
+	copyPool sync.Pool
 }
 
 // NewRouter builds a Router over the configured replica fleet. Start
@@ -113,19 +161,35 @@ func NewRouter(cfg ClusterConfig) (*Router, error) {
 	if fwdTimeout <= 0 {
 		fwdTimeout = DefaultForwardTimeout
 	}
+	replication := cfg.Replication
+	if replication <= 0 {
+		replication = DefaultReplication
+	}
+	if replication > len(replicas) {
+		replication = len(replicas)
+	}
+	scatterMin := cfg.ScatterMinPairs
+	if scatterMin == 0 {
+		scatterMin = DefaultScatterMinPairs
+	}
 	tr := http.DefaultTransport.(*http.Transport).Clone()
 	tr.MaxIdleConns = 2 * DefaultQueueDepth
 	tr.MaxIdleConnsPerHost = DefaultQueueDepth
 	rt := &Router{
-		cfg:      cfg,
-		replicas: replicas,
-		ring:     newHashRing(replicas, cfg.VNodes),
-		health:   newHealthChecker(replicas, cfg.ProbeInterval, cfg.ProbeTimeout, cfg.EjectAfter, cfg.ReadmitAfter),
-		client:   &http.Client{Timeout: fwdTimeout, Transport: tr},
-		mux:      http.NewServeMux(),
-		attempts: attempts,
-		start:    time.Now(),
+		cfg:         cfg,
+		replicas:    replicas,
+		ring:        newHashRing(replicas, cfg.VNodes),
+		health:      newHealthChecker(replicas, cfg.ProbeInterval, cfg.ProbeTimeout, cfg.EjectAfter, cfg.ReadmitAfter),
+		client:      &http.Client{Timeout: fwdTimeout, Transport: tr},
+		mux:         http.NewServeMux(),
+		attempts:    attempts,
+		replication: replication,
+		scatterMin:  scatterMin,
+		inflight:    make([]atomic.Int64, len(replicas)),
+		start:       time.Now(),
 	}
+	rt.bodyPool.New = func() any { return new(bytes.Buffer) }
+	rt.copyPool.New = func() any { b := make([]byte, 32<<10); return &b }
 	if depth > 0 {
 		rt.queue = make(chan struct{}, depth)
 	}
@@ -182,7 +246,9 @@ func (rt *Router) ListenAndServe(ctx context.Context, addr string, grace time.Du
 }
 
 // forward proxies one request to the replica owning its shard key,
-// retrying transport failures on the next live replica clockwise.
+// failing over within the key's owner set and then the next live
+// replicas clockwise on transport errors. /batch POSTs branch into the
+// scatter-gather path (cluster_batch.go).
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request) {
 	if rt.queue != nil {
 		select {
@@ -199,26 +265,47 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Buffer the body up front: a retry must be able to resend it.
+	// Buffer the body up front into a pooled buffer: a retry must be
+	// able to resend it, and per-forward allocations would dominate the
+	// router's own cost at fleet rates.
+	buf := rt.bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer rt.bodyPool.Put(buf)
 	var body []byte
 	if r.Body != nil && r.Body != http.NoBody {
-		var err error
-		if body, err = io.ReadAll(r.Body); err != nil {
+		if _, err := buf.ReadFrom(io.LimitReader(r.Body, maxBatchBody+1)); err != nil {
 			writeErr(w, badRequest("reading request body: %v", err))
 			return
 		}
 		r.Body.Close()
+		body = buf.Bytes()
 	}
 
-	key := rt.requestKey(r, body)
+	if r.Method == http.MethodPost && r.URL.Path == "/batch" {
+		rt.forwardBatch(w, r, body)
+		return
+	}
+	rt.forwardKeyed(w, r, rt.requestKey(r), body)
+}
+
+// forwardKeyed sends one buffered request toward the key's owner set:
+// the primary first, then the remaining owners, then — only once the
+// owner set is exhausted — further live replicas clockwise, bounded by
+// the attempt budget.
+func (rt *Router) forwardKeyed(w http.ResponseWriter, r *http.Request, key uint64, body []byte) {
 	tried := make([]bool, len(rt.replicas))
 	for attempt := 0; attempt < rt.attempts; attempt++ {
+		// The clockwise distinct-alive walk enumerates the owner set in
+		// order before any non-owner, so skipping tried replicas is
+		// exactly "fail over within the owner set before walking on".
 		i := rt.ring.Lookup(key, func(i int) bool { return !tried[i] && rt.health.Healthy(i) })
 		if i < 0 {
 			break
 		}
 		tried[i] = true
+		rt.inflight[i].Add(1)
 		resp, err := rt.forwardOnce(r, i, body)
+		rt.inflight[i].Add(-1)
 		if err != nil {
 			// A transport failure is the replica's problem, not the
 			// query's: report it toward ejection and move clockwise.
@@ -258,8 +345,8 @@ func (rt *Router) forwardOnce(r *http.Request, i int, body []byte) (*http.Respon
 	return rt.client.Do(req)
 }
 
-// relay copies the replica's response to the client, stamping which
-// replica answered.
+// relay copies the replica's response to the client through a pooled
+// chunk, stamping which replica answered.
 func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, i int) {
 	defer resp.Body.Close()
 	h := w.Header()
@@ -270,17 +357,18 @@ func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, i int) {
 	}
 	h.Set("X-Replica", rt.replicas[i])
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	chunk := rt.copyPool.Get().(*[]byte)
+	io.CopyBuffer(w, resp.Body, *chunk)
+	rt.copyPool.Put(chunk)
 	rt.health.replicas[i].forwarded.Add(1)
 }
 
-// requestKey computes the shard key for one request. Single-query GETs
-// key on the full (dims,u,v) identity — the same identity the replica's
-// route cache keys on, so a key's cache entry lives on exactly one
-// replica. /batch POSTs key on dims (the pairs inside one body already
-// share an instance); a body the router cannot parse keys on dims zero
-// and is forwarded anyway — the replica owns rejecting it.
-func (rt *Router) requestKey(r *http.Request, body []byte) uint64 {
+// requestKey computes the shard key for one single-query request: the
+// full (dims,u,v) identity — the same identity the replica's route
+// cache keys on, so a key's cache entry lives on exactly one replica.
+// (/batch bodies never reach here; they are decoded and partitioned
+// pair-by-pair in cluster_batch.go.)
+func (rt *Router) requestKey(r *http.Request) uint64 {
 	q := r.URL.Query()
 	qi := func(name string, def int) int {
 		v, err := strconv.Atoi(q.Get(name))
@@ -289,19 +377,15 @@ func (rt *Router) requestKey(r *http.Request, body []byte) uint64 {
 		}
 		return v
 	}
-	d := Dims{M: qi("m", 2), N: qi("n", 3)}
-	if r.Method == http.MethodPost && r.URL.Path == "/batch" {
-		if m, n, ok := peekBatchDims(r.Header.Get("Content-Type"), body); ok {
-			d = Dims{M: m, N: n}
-		}
-		return shardKey(d, 0, 0)
-	}
-	return shardKey(d, qi("u", 0), qi("v", 0))
+	return shardKey(Dims{M: qi("m", 2), N: qi("n", 3)}, qi("u", 0), qi("v", 0))
 }
 
 // peekBatchDims extracts (m,n) from a /batch request body without fully
 // decoding it: the JSON codec unmarshals just the two fields, the
-// binary codec reads them at fixed offsets in the header frame.
+// binary codec reads them at fixed offsets in the header frame. It is
+// the router's first-line validator — a body whose dims cannot be read
+// (truncated binary header, JSON missing m or n, negative dims) answers
+// 400 at the router instead of forwarding garbage into the fleet.
 func peekBatchDims(ct string, body []byte) (m, n int, ok bool) {
 	if strings.HasPrefix(ct, ctBatchBin) {
 		// Header frame: u32 len | "HBB1" | u16 version | u16 op | u32 m | u32 n | ...
@@ -312,24 +396,34 @@ func peekBatchDims(ct string, body []byte) (m, n int, ok bool) {
 			int(binary.LittleEndian.Uint32(body[16:20])), true
 	}
 	var hdr struct {
-		M int `json:"m"`
-		N int `json:"n"`
+		M *int `json:"m"`
+		N *int `json:"n"`
 	}
-	if err := json.Unmarshal(body, &hdr); err != nil {
+	if err := json.Unmarshal(body, &hdr); err != nil || hdr.M == nil || hdr.N == nil {
 		return 0, 0, false
 	}
-	return hdr.M, hdr.N, true
+	if *hdr.M < 0 || *hdr.N < 0 {
+		return 0, 0, false
+	}
+	return *hdr.M, *hdr.N, true
 }
 
 // clusterStatus is the /cluster JSON body: live membership plus the
 // per-replica forwarding counters the cluster load generator turns into
 // per-replica shares.
 type clusterStatus struct {
-	Replicas  []replicaStatus `json:"replicas"`
-	Healthy   int             `json:"healthy"`
-	Retries   uint64          `json:"retries"`
-	Shed      uint64          `json:"shed"`
-	NoReplica uint64          `json:"no_replica"`
+	Replicas    []replicaStatus `json:"replicas"`
+	Healthy     int             `json:"healthy"`
+	Replication int             `json:"replication"`
+	Retries     uint64          `json:"retries"`
+	Shed        uint64          `json:"shed"`
+	NoReplica   uint64          `json:"no_replica"`
+
+	// Scatter-gather counters: sub-batches fanned out, sub-batches
+	// retried on another owner, pairs routed through the scatter path.
+	SubbatchFanout  uint64 `json:"subbatch_fanout"`
+	SubbatchRetries uint64 `json:"subbatch_retries"`
+	SubbatchPairs   uint64 `json:"subbatch_pairs"`
 }
 
 type replicaStatus struct {
@@ -338,24 +432,30 @@ type replicaStatus struct {
 	Forwarded    uint64 `json:"forwarded"`
 	Ejections    uint64 `json:"ejections"`
 	Readmissions uint64 `json:"readmissions"`
+	Inflight     int64  `json:"inflight"`
 }
 
 // Status snapshots the cluster state (the /cluster handler and the
 // load generator both read it).
 func (rt *Router) Status() clusterStatus {
 	st := clusterStatus{
-		Healthy:   rt.health.HealthyCount(),
-		Retries:   rt.retries.Load(),
-		Shed:      rt.shed.Load(),
-		NoReplica: rt.noReplica.Load(),
+		Healthy:         rt.health.HealthyCount(),
+		Replication:     rt.replication,
+		Retries:         rt.retries.Load(),
+		Shed:            rt.shed.Load(),
+		NoReplica:       rt.noReplica.Load(),
+		SubbatchFanout:  rt.subFanout.Load(),
+		SubbatchRetries: rt.subRetries.Load(),
+		SubbatchPairs:   rt.subPairs.Load(),
 	}
-	for _, r := range rt.health.replicas {
+	for i, r := range rt.health.replicas {
 		st.Replicas = append(st.Replicas, replicaStatus{
 			URL:          r.url,
 			Healthy:      r.healthy.Load(),
 			Forwarded:    r.forwarded.Load(),
 			Ejections:    r.ejections.Load(),
 			Readmissions: r.readmissions.Load(),
+			Inflight:     rt.inflight[i].Load(),
 		})
 	}
 	return st
@@ -381,6 +481,14 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		rt.shed.Load())
 	fmt.Fprintf(w, "# HELP hbd_router_no_replica_total Requests failed for want of any live replica.\n# TYPE hbd_router_no_replica_total counter\nhbd_router_no_replica_total %d\n",
 		rt.noReplica.Load())
+	fmt.Fprintf(w, "# HELP hbd_router_replication Owner-set size R: alive replicas serving each key.\n# TYPE hbd_router_replication gauge\nhbd_router_replication %d\n",
+		rt.replication)
+	fmt.Fprintf(w, "# HELP hbd_router_subbatch_fanout_total Sub-batches fanned out by the /batch scatter path.\n# TYPE hbd_router_subbatch_fanout_total counter\nhbd_router_subbatch_fanout_total %d\n",
+		rt.subFanout.Load())
+	fmt.Fprintf(w, "# HELP hbd_router_subbatch_retries_total Sub-batches retried against another alive owner after a transport failure.\n# TYPE hbd_router_subbatch_retries_total counter\nhbd_router_subbatch_retries_total %d\n",
+		rt.subRetries.Load())
+	fmt.Fprintf(w, "# HELP hbd_router_subbatch_pairs_total Pairs routed through the scatter-gather path.\n# TYPE hbd_router_subbatch_pairs_total counter\nhbd_router_subbatch_pairs_total %d\n",
+		rt.subPairs.Load())
 
 	idx := make([]int, len(rt.replicas))
 	for i := range idx {
@@ -406,5 +514,9 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP hbd_router_readmissions_total Health-check re-admissions, by replica.\n# TYPE hbd_router_readmissions_total counter\n")
 	for _, i := range idx {
 		fmt.Fprintf(w, "hbd_router_readmissions_total{replica=%q} %d\n", rt.replicas[i], rt.health.replicas[i].readmissions.Load())
+	}
+	fmt.Fprintf(w, "# HELP hbd_router_owner_inflight_pairs Owner-set occupancy: pairs and forwards currently in flight, by replica.\n# TYPE hbd_router_owner_inflight_pairs gauge\n")
+	for _, i := range idx {
+		fmt.Fprintf(w, "hbd_router_owner_inflight_pairs{replica=%q} %d\n", rt.replicas[i], rt.inflight[i].Load())
 	}
 }

@@ -49,6 +49,16 @@ type ClusterLoadConfig struct {
 	Workers  int
 	Seed     int64
 
+	// Batch > 0 appends batch legs after the single-query window: one
+	// through the router (exercising the scatter-gather path) and then
+	// one per replica directly, all at BatchQPS requests of Batch pairs
+	// each in Codec ("json" or "bin"; "" = bin — the throughput codec).
+	// The legs run in separate windows so each reports an uncontended
+	// number on a small machine; BatchRoutesPerSec sums them.
+	Batch    int
+	BatchQPS int
+	Codec    string
+
 	// ShedBudget is the allowed non-2xx fraction on the router leg;
 	// 0 means DefaultShedBudget, < 0 means zero tolerance.
 	ShedBudget float64
@@ -81,6 +91,14 @@ type ClusterReport struct {
 	// budget gate reads. Direct holds the concurrent per-replica legs.
 	RouterResult LoadResult   `json:"router_result"`
 	Direct       []LoadResult `json:"direct,omitempty"`
+
+	// RouterBatch is the scatter-gather /batch leg through the router;
+	// DirectBatch the per-replica direct batch legs it is judged
+	// against. BatchRoutesPerSec sums all batch legs — the fleet's
+	// batch throughput claim.
+	RouterBatch       *LoadResult  `json:"router_batch,omitempty"`
+	DirectBatch       []LoadResult `json:"direct_batch,omitempty"`
+	BatchRoutesPerSec float64      `json:"batch_routes_per_sec,omitempty"`
 
 	// AggregateRoutesPerSec sums route throughput across every leg.
 	AggregateRoutesPerSec float64        `json:"aggregate_routes_per_sec"`
@@ -195,6 +213,64 @@ func LoadCluster(cfg ClusterLoadConfig) (ClusterReport, error) {
 		rep.AggregateRoutesPerSec += r.RoutesPerSec
 	}
 
+	// Batch legs run after the single-query window, each in its own
+	// window: first through the router (the scatter-gather claim), then
+	// every replica directly and concurrently (the ceiling the router is
+	// judged against). Sequencing instead of overlapping keeps the legs
+	// from stealing each other's CPU on a small machine — the aggregate
+	// is a sum of per-window throughputs either way.
+	if cfg.Batch > 0 {
+		codec := cfg.Codec
+		if codec == "" {
+			codec = "bin"
+		}
+		bqps := cfg.BatchQPS
+		if bqps <= 0 {
+			bqps = 2000
+		}
+		batchCfg := func(target string, seed int64) LoadConfig {
+			return LoadConfig{
+				BaseURL:  target,
+				M:        cfg.M,
+				N:        cfg.N,
+				Endpoint: cfg.Endpoint,
+				Mix:      cfg.Mix,
+				QPS:      bqps,
+				Duration: cfg.Duration,
+				Workers:  cfg.Workers,
+				Seed:     seed,
+				Batch:    cfg.Batch,
+				Codec:    codec,
+			}
+		}
+		rb, err := Load(batchCfg(rep.Router, cfg.Seed+100))
+		if err != nil {
+			return rep, fmt.Errorf("hbserve: router batch leg: %w", err)
+		}
+		rep.RouterBatch = &rb
+		rep.DirectBatch = make([]LoadResult, len(cfg.Replicas))
+		dbErrs := make([]error, len(cfg.Replicas))
+		var bwg sync.WaitGroup
+		for i, target := range cfg.Replicas {
+			bwg.Add(1)
+			go func(i int, target string) {
+				defer bwg.Done()
+				rep.DirectBatch[i], dbErrs[i] = Load(batchCfg(target, cfg.Seed+200+int64(i)))
+			}(i, target)
+		}
+		bwg.Wait()
+		for i, err := range dbErrs {
+			if err != nil {
+				return rep, fmt.Errorf("hbserve: direct batch leg %s: %w", cfg.Replicas[i], err)
+			}
+		}
+		rep.BatchRoutesPerSec = rb.RoutesPerSec
+		for _, r := range rep.DirectBatch {
+			rep.BatchRoutesPerSec += r.RoutesPerSec
+		}
+		rep.AggregateRoutesPerSec += rep.BatchRoutesPerSec
+	}
+
 	after, err := scrapeCluster(rep.Router)
 	if err != nil {
 		return rep, err
@@ -219,10 +295,17 @@ func LoadCluster(cfg ClusterLoadConfig) (ClusterReport, error) {
 		rep.Share = append(rep.Share, ReplicaShare{URL: r.URL, Forwarded: deltas[i], Share: share})
 	}
 
-	// The budget gates the router leg only: direct legs against a
+	// The budget gates the router legs only: direct legs against a
 	// replica that chaos killed are expected to fail during the outage.
+	// The batch leg additionally demands zero lost pairs — a 2xx batch
+	// response that dropped pairs is a correctness failure the shed
+	// budget does not excuse.
 	budgeted := int(rep.ShedBudget * float64(rep.RouterResult.Requests))
 	rep.WithinBudget = rep.RouterResult.Non2xx <= budgeted
+	if rb := rep.RouterBatch; rb != nil {
+		bb := int(rep.ShedBudget * float64(rb.Requests))
+		rep.WithinBudget = rep.WithinBudget && rb.LostPairs == 0 && rb.Non2xx <= bb
+	}
 	return rep, nil
 }
 

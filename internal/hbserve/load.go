@@ -2,6 +2,7 @@ package hbserve
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -63,11 +64,18 @@ type LoadResult struct {
 	Requests    int     `json:"requests"`
 	Non2xx      int     `json:"non_2xx"`
 	AchievedQPS float64 `json:"achieved_qps"`
-	// Pairs answered (single mode: one per 2xx request) and the
+	// Pairs answered (single mode: one per 2xx request; batch mode:
+	// counted from each response's own pair count, not assumed) and the
 	// resulting route throughput — the batch-vs-single comparison axis.
 	Pairs        int     `json:"pairs"`
 	RoutesPerSec float64 `json:"routes_per_sec"`
-	LatencyMS    struct {
+	// LostPairs counts pairs missing from 2xx batch responses: pairs the
+	// server accepted but silently failed to answer. Rejected requests
+	// are visible in Non2xx instead; a scatter-gather router that
+	// retries sub-batches correctly keeps this at exactly zero even
+	// with a replica killed mid-load.
+	LostPairs int `json:"lost_pairs"`
+	LatencyMS struct {
 		P50 float64 `json:"p50"`
 		P90 float64 `json:"p90"`
 		P99 float64 `json:"p99"`
@@ -100,6 +108,19 @@ func Load(cfg LoadConfig) (LoadResult, error) {
 	if workers <= 0 {
 		workers = 32
 	}
+	// Little's law: sustaining qps with per-request latency L needs at
+	// least qps*L in-flight requests. A fixed pool silently converts the
+	// open-loop generator into a closed loop once the target rate
+	// exceeds workers/latency — achieved_qps then tracks the pool, not
+	// the target. Budgeting L at 50ms (a loaded router's tail, not its
+	// median) keeps the configured pool as a floor and scales up with
+	// the target so the dispatcher's offered rate is actually sendable.
+	if floor := cfg.QPS / 20; floor > workers {
+		workers = floor
+		if workers > 512 {
+			workers = 512
+		}
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	perm := rng.Perm(order)
@@ -128,21 +149,20 @@ func Load(cfg LoadConfig) (LoadResult, error) {
 	// of waiting for idle conns to age out.
 	defer client.CloseIdleConnections()
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		non2xx    atomic.Int64
-		wg        sync.WaitGroup
+		mu            sync.Mutex
+		latencies     []time.Duration
+		non2xx        atomic.Int64
+		pairsAnswered atomic.Int64
+		wg            sync.WaitGroup
 	)
 	base := strings.TrimRight(cfg.BaseURL, "/")
-	record := func(t0 time.Time, resp *http.Response, err error) {
-		lat := time.Since(t0)
-		if err != nil {
-			non2xx.Add(1)
-			return
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode/100 != 2 {
+	record := func(enq time.Time, ok bool) {
+		// Latency is measured from enqueue, not from the worker picking
+		// the job up: with a deep queue the wait in line is part of what
+		// the client observes, and hiding it would let a saturated
+		// server post flattering percentiles.
+		lat := time.Since(enq)
+		if !ok {
 			// Errors are counted exactly once, in non2xx, and excluded
 			// from the latency population: a fast 503 from load shedding
 			// would otherwise both drag the percentiles down and be
@@ -155,23 +175,50 @@ func Load(cfg LoadConfig) (LoadResult, error) {
 		mu.Unlock()
 	}
 
-	jobs := make(chan [2]int, workers)
+	// The queue holds a fraction of a second of backlog before the
+	// dispatcher sheds: deep enough that a transient latency spike
+	// doesn't immediately drop offered load (the old workers-deep
+	// channel shed at the first stall, capping achieved_qps below
+	// target), shallow enough that shedding still engages when the
+	// target is genuinely unsustainable.
+	type loadJob struct {
+		pair [2]int
+		enq  time.Time
+	}
+	jobs := make(chan loadJob, 16*workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for pair := range jobs {
+			var buf bytes.Buffer
+			for job := range jobs {
 				if cfg.Batch > 0 {
-					t0 := time.Now()
-					resp, err := client.Post(base+"/batch", ct, bytes.NewReader(bodies[pair[0]]))
-					record(t0, resp, err)
+					resp, err := client.Post(base+"/batch", ct, bytes.NewReader(bodies[job.pair[0]]))
+					ok := err == nil
+					if err == nil {
+						buf.Reset()
+						_, rerr := buf.ReadFrom(resp.Body)
+						resp.Body.Close()
+						ok = rerr == nil && resp.StatusCode/100 == 2
+						if ok {
+							if n, cerr := countBatchPairs(res.Codec, buf.Bytes()); cerr == nil {
+								pairsAnswered.Add(int64(n))
+							}
+						}
+					}
+					record(job.enq, ok)
 					continue
 				}
 				url := fmt.Sprintf("%s/%s?m=%d&n=%d&u=%d&v=%d",
-					base, cfg.Endpoint, cfg.M, cfg.N, pair[0], pair[1])
-				t0 := time.Now()
+					base, cfg.Endpoint, cfg.M, cfg.N, job.pair[0], job.pair[1])
 				resp, err := client.Get(url)
-				record(t0, resp, err)
+				ok := err == nil
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					ok = resp.StatusCode/100 == 2
+				}
+				record(job.enq, ok)
 			}
 		}()
 	}
@@ -181,13 +228,14 @@ func Load(cfg LoadConfig) (LoadResult, error) {
 	// is dropped, not queued without bound).
 	body := 0
 	dispatch(cfg.QPS, cfg.Duration, func() bool {
-		var job [2]int
+		var job loadJob
 		if cfg.Batch > 0 {
-			job = [2]int{body % len(bodies), 0}
+			job.pair = [2]int{body % len(bodies), 0}
 			body++
 		} else {
-			job = next()
+			job.pair = next()
 		}
+		job.enq = time.Now()
 		select {
 		case jobs <- job:
 			return true
@@ -203,7 +251,10 @@ func Load(cfg LoadConfig) (LoadResult, error) {
 	res.AchievedQPS = float64(res.Requests) / cfg.Duration.Seconds()
 	res.Pairs = res.Requests - res.Non2xx
 	if cfg.Batch > 0 {
-		res.Pairs *= cfg.Batch
+		res.Pairs = int(pairsAnswered.Load())
+		if lost := (res.Requests-res.Non2xx)*cfg.Batch - res.Pairs; lost > 0 {
+			res.LostPairs = lost
+		}
 	}
 	res.RoutesPerSec = float64(res.Pairs) / cfg.Duration.Seconds()
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -295,6 +346,34 @@ func makeBatchBodies(cfg LoadConfig, codec string, next func() [2]int) ([][]byte
 		ct = ctBatchBin
 	}
 	return bodies, ct, nil
+}
+
+// countBatchPairs extracts the answered-pair count from a 2xx /batch
+// response body without a full decode: the binary header carries it at
+// a fixed offset, the JSON body in its "count" field. This is what
+// lost-pair accounting audits — the response's own claim of how many
+// pairs it answered, not the client's assumption that all were.
+func countBatchPairs(codec string, body []byte) (int, error) {
+	if codec == "bin" {
+		// 4-byte frame length, then magic(4) ver(2) op(1) pad(1) npairs(4).
+		if len(body) < 16 || binary.LittleEndian.Uint32(body[4:]) != batchBinMagic {
+			return 0, fmt.Errorf("hbserve: short or unframed binary batch response")
+		}
+		return int(binary.LittleEndian.Uint32(body[12:])), nil
+	}
+	i := bytes.Index(body, []byte(`"count":`))
+	if i < 0 {
+		return 0, fmt.Errorf("hbserve: batch response without a count field")
+	}
+	n, seen := 0, false
+	for i += len(`"count":`); i < len(body) && body[i] >= '0' && body[i] <= '9'; i++ {
+		n = n*10 + int(body[i]-'0')
+		seen = true
+	}
+	if !seen {
+		return 0, fmt.Errorf("hbserve: batch response with non-numeric count")
+	}
+	return n, nil
 }
 
 // makePairSource returns a generator of (u,v) query pairs for the mix;

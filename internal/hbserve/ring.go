@@ -69,8 +69,57 @@ func (r *hashRing) Lookup(key uint64, alive func(int) bool) int {
 	return -1
 }
 
+// LookupN returns the key's owner set: the first n distinct replicas
+// accepted by alive (nil = all) on the clockwise walk from the key's
+// ring position, primary first. Because the walk order is fixed by the
+// immutable point set, ejecting one member of an owner set promotes the
+// next member in place — a key replicated at factor R keeps an alive
+// owner inside its original owner set as long as fewer than R members
+// are down, with no re-walk past the set. The result is appended to
+// buf (pass buf[:0] to reuse an allocation across calls).
+func (r *hashRing) LookupN(key uint64, n int, alive func(int) bool, buf []int) []int {
+	owners := buf[:0]
+	if len(r.points) == 0 || n <= 0 {
+		return owners
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for k := 0; k < len(r.points) && len(owners) < n; k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if alive != nil && !alive(p.replica) {
+			continue
+		}
+		seen := false
+		for _, o := range owners {
+			if o == p.replica {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			owners = append(owners, p.replica)
+		}
+	}
+	return owners
+}
+
 // shardKey hashes one (dims,u,v) query identity onto the ring.
 func shardKey(d Dims, u, v int) uint64 {
-	return fnv1a(strconv.Itoa(d.M) + "|" + strconv.Itoa(d.N) + "|" +
-		strconv.Itoa(u) + "|" + strconv.Itoa(v))
+	var buf [44]byte
+	return shardKeyAppend(d, u, v, buf[:0])
+}
+
+// shardKeyAppend is shardKey over a caller-provided scratch buffer, so
+// the per-pair partition loop in the scatter path hashes without
+// allocating. The byte sequence (and therefore the hash) is identical
+// to the original string-concatenation form, keeping batch pairs and
+// single queries for the same (dims,u,v) on the same owner.
+func shardKeyAppend(d Dims, u, v int, buf []byte) uint64 {
+	buf = strconv.AppendInt(buf, int64(d.M), 10)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(d.N), 10)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(u), 10)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(v), 10)
+	return fnv1aBytes(buf)
 }
